@@ -1,0 +1,72 @@
+"""Ablation — the exploration budget of §5.3.
+
+The paper measures each candidate operating point 20 times at 50 ms
+intervals and declares an application stable after 25 explored
+configurations.  This ablation varies both knobs and reports the
+time-to-stable / allocation-quality trade-off.
+
+Expected shape: smaller budgets stabilize much faster but land on worse
+allocations more often; the paper's setting buys reliability with ~30 s of
+learning.
+"""
+
+from conftest import full_scale, save_results
+
+from repro.analysis.scenarios import run_scenario
+from repro.core.manager import ManagerConfig
+
+
+def _run():
+    settings = [
+        {"measurements_per_point": 5, "stable_after": 10},
+        {"measurements_per_point": 20, "stable_after": 25},
+    ]
+    if full_scale():
+        settings.insert(1, {"measurements_per_point": 10, "stable_after": 15})
+        settings.append({"measurements_per_point": 40, "stable_after": 25})
+    rounds = 2 if full_scale() else 1
+    base = run_scenario(["mg.C"], policy="cfs", rounds=rounds, seed=5)
+    rows = []
+    for setting in settings:
+        config = ManagerConfig(**setting)
+        result = run_scenario(
+            ["mg.C"], policy="harp", rounds=rounds, seed=5,
+            manager_config=config,
+        )
+        rows.append(
+            {
+                **setting,
+                "stable_at_s": result.stable_at_s.get("mg.C"),
+                "time_factor": base.makespan_s / result.makespan_s,
+                "energy_factor": base.energy_j / result.energy_j,
+            }
+        )
+    return rows
+
+
+def test_exploration_budget_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "# Ablation — exploration budget (mg.C)",
+        "",
+        "| meas/point | stable after | stable at [s] | F(time) | F(energy) |",
+        "|---|---|---|---|---|",
+    ]
+    for r in rows:
+        stable = f"{r['stable_at_s']:.1f}" if r["stable_at_s"] else "-"
+        lines.append(
+            f"| {r['measurements_per_point']} | {r['stable_after']} | "
+            f"{stable} | {r['time_factor']:.2f} | {r['energy_factor']:.2f} |"
+        )
+    save_results("ablation_exploration", lines)
+
+    small = rows[0]
+    paper = next(
+        r for r in rows
+        if r["measurements_per_point"] == 20 and r["stable_after"] == 25
+    )
+    # Smaller budgets stabilize faster...
+    if small["stable_at_s"] and paper["stable_at_s"]:
+        assert small["stable_at_s"] < paper["stable_at_s"]
+    # ...while the paper's setting still produces a good allocation.
+    assert paper["energy_factor"] > 1.3

@@ -1,0 +1,49 @@
+"""Fig. 1 — performance and energy of ep.C / mg.C across configurations.
+
+Regenerates the paper's configuration-space scatter: execution time and
+energy for every (E-cores × P-hyperthreads) combination, plus the
+four-objective Pareto front (time, energy, P-cores, E-cores).
+
+Expected shape (paper §2.1): ep.C improves toward the upper-right corner
+(benefits from both core types, front favours even P-hyperthread counts);
+mg.C gains nothing from more resources and its front concentrates on
+small, E-heavy configurations.
+"""
+
+from conftest import full_scale, save_results
+
+from repro.analysis.experiments import fig1_config_space
+
+
+def _run():
+    step = 1 if full_scale() else 4
+    return fig1_config_space(apps=("ep.C", "mg.C"), e_step=step, ht_step=step)
+
+
+def test_fig1_config_space(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["# Fig. 1 — configuration spaces (ep.C, mg.C)", ""]
+    for app, rows in result.items():
+        lines.append(f"## {app}")
+        lines.append("| E-cores | P-HT | time [s] | energy [J] | Pareto |")
+        lines.append("|---|---|---|---|---|")
+        for r in rows:
+            lines.append(
+                f"| {r['e_cores']} | {r['p_hyperthreads']} | "
+                f"{r['time_s']:.2f} | {r['energy_j']:.0f} | "
+                f"{'*' if r['pareto'] else ''} |"
+            )
+        lines.append("")
+    save_results("fig1_config_space", lines)
+
+    # Shape assertions from the paper.
+    ep = result["ep.C"]
+    mg = result["mg.C"]
+    ep_best = min(ep, key=lambda r: r["time_s"])
+    assert ep_best["p_hyperthreads"] >= 12  # ep wants the whole machine
+    assert ep_best["e_cores"] >= 12
+    mg_small = min(r["time_s"] for r in mg if r["e_cores"] + r["p_hyperthreads"] <= 12)
+    mg_big = min(r["time_s"] for r in mg if r["e_cores"] >= 12 and r["p_hyperthreads"] >= 12)
+    assert mg_big > 0.8 * mg_small  # no speedup from the big configs
+    front_mg = [r for r in mg if r["pareto"]]
+    assert max(r["e_cores"] + r["p_hyperthreads"] for r in front_mg) <= 20

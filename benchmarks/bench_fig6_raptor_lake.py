@@ -1,0 +1,74 @@
+"""Fig. 6 — improvement factors over CFS on the Intel Raptor Lake.
+
+Regenerates the paper's headline comparison: ITD, HARP (online), HARP
+(Offline), and HARP (No Scaling) against CFS for single- and multi-
+application scenarios, with geometric means per group.
+
+Expected shape (paper §6.3):
+* ITD ≈ CFS for singles (1.02×/1.04×), below CFS for multis (0.84×/0.88×);
+* HARP trades a little time for energy in singles (0.92×/1.34×) and wins
+  both in multis (1.40×/1.52×);
+* HARP (Offline) beats online HARP (1.22×/1.44× single, 1.58×/1.73× multi);
+* HARP (No Scaling) collapses (0.60×/0.74× single, 0.52×/0.74× multi);
+* binpack is a large positive outlier; lu loses under HARP.
+"""
+
+from conftest import full_scale, save_results
+
+from repro.analysis.experiments import fig6_raptor_lake
+from repro.analysis.scenarios import INTEL_MULTI_SCENARIOS, INTEL_SINGLE_APPS
+
+QUICK_SINGLES = ["ep.C", "mg.C", "lu.C", "is.C", "binpack", "primes", "vgg"]
+QUICK_MULTIS = [["ep.C", "mg.C"], ["is.C", "lu.C"], ["binpack", "fractal"]]
+
+
+def _run():
+    if full_scale():
+        return fig6_raptor_lake(rounds=2)
+    return fig6_raptor_lake(
+        single_apps=QUICK_SINGLES,
+        multi_scenarios=QUICK_MULTIS,
+        rounds=1,
+        dse_points=48,
+        dse_probe_s=0.4,
+    )
+
+
+def test_fig6_improvement_factors(benchmark):
+    cmp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "# Fig. 6 — improvement factors over CFS (Intel Raptor Lake)",
+        "",
+        "| scenario | kind | policy | F(time) | F(energy) |",
+        "|---|---|---|---|---|",
+    ]
+    for r in cmp.rows:
+        lines.append(
+            f"| {r['scenario']} | {r['kind']} | {r['policy']} | "
+            f"{r['time_factor']:.2f} | {r['energy_factor']:.2f} |"
+        )
+    lines += ["", "## Geometric means", "", "| policy | kind | F(time) | F(energy) |", "|---|---|---|---|"]
+    means = cmp.geomeans()
+    for (policy, kind), v in sorted(means.items()):
+        lines.append(
+            f"| {policy} | {kind} | {v['time_factor']:.2f} | {v['energy_factor']:.2f} |"
+        )
+    save_results("fig6_raptor_lake", lines)
+
+    # Shape assertions.
+    assert means[("harp", "single")]["energy_factor"] > 1.1
+    assert means[("harp", "multi")]["energy_factor"] > 1.2
+    assert means[("harp-noscaling", "multi")]["time_factor"] < 0.9
+    # ITD stays near the baseline for singles.
+    assert 0.85 < means[("itd", "single")]["time_factor"] < 1.15
+    # The binpack contention outlier.
+    binpack = next(
+        r for r in cmp.rows
+        if r["scenario"] == "binpack" and r["policy"] == "harp"
+    )
+    assert binpack["time_factor"] > 2.0
+    # lu's IPS trap: HARP does not improve lu's execution time.
+    lu = next(
+        r for r in cmp.rows if r["scenario"] == "lu.C" and r["policy"] == "harp"
+    )
+    assert lu["time_factor"] < 1.05

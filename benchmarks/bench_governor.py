@@ -1,0 +1,56 @@
+"""§6.3.3 — influence of the DVFS governor on HARP's improvements.
+
+Repeats a set of Intel scenarios under the ``performance`` governor and
+compares the improvement factors against the default ``powersave`` runs.
+
+Expected shape (paper): the governor has only a minor effect — HARP's
+factors move by a few percent (1.44×/1.20× energy/time under performance
+vs 1.42×/1.14× under powersave; offline 1.61×/1.36× vs 1.58×/1.34×).
+"""
+
+from conftest import full_scale, save_results
+
+from repro.analysis.experiments import governor_comparison
+
+
+def _run():
+    if full_scale():
+        scenarios = [["ep.C"], ["mg.C"], ["ft.C"], ["lu.C"],
+                     ["ep.C", "mg.C"], ["bt.C", "cg.C"], ["is.C", "lu.C"]]
+        return governor_comparison(scenarios=scenarios, rounds=2)
+    return governor_comparison(
+        scenarios=[["mg.C"], ["ep.C", "mg.C"]],
+        policies=("harp",),
+        rounds=1,
+    )
+
+
+def test_governor_influence(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["# §6.3.3 — governor influence on HARP", ""]
+    summary = {}
+    for governor, cmp in result.items():
+        lines.append(f"## {governor}")
+        lines.append("| scenario | policy | F(time) | F(energy) |")
+        lines.append("|---|---|---|---|")
+        for r in cmp.rows:
+            lines.append(
+                f"| {r['scenario']} | {r['policy']} | {r['time_factor']:.2f} | "
+                f"{r['energy_factor']:.2f} |"
+            )
+        means = cmp.geomeans()
+        for (policy, kind), v in sorted(means.items()):
+            summary[(governor, policy)] = v
+            lines.append(
+                f"\ngeomean {policy}: F(time)={v['time_factor']:.2f}, "
+                f"F(energy)={v['energy_factor']:.2f}\n"
+            )
+    save_results("governor_influence", lines)
+
+    # Minor effect: factors under the two governors stay within ~25 %.
+    for policy in {p for (_, p) in summary}:
+        a = summary[("powersave", policy)]
+        b = summary[("performance", policy)]
+        assert abs(a["energy_factor"] - b["energy_factor"]) < 0.25 * max(
+            a["energy_factor"], b["energy_factor"]
+        ) + 0.3

@@ -1,0 +1,56 @@
+"""§6.6 — performance overhead of HARP with adaptation disabled.
+
+Runs every scenario under plain CFS and under the full HARP stack
+(monitoring, exploration, communication, utility polls) whose activation
+messages libharp drops — applications stay unadapted, so the makespan
+delta is pure management overhead.
+
+Expected shape (paper): < 1 % for single applications, ≈ 2.5 % in
+multi-application scenarios.
+"""
+
+from conftest import full_scale, save_results
+
+from repro.analysis.experiments import overhead_experiment
+from repro.analysis.metrics import mean_and_std
+
+
+def _run():
+    if full_scale():
+        scenarios = [["ep.C"], ["mg.C"], ["ft.C"], ["lu.C"],
+                     ["ep.C", "mg.C"], ["ft.C", "cg.C", "is.C"],
+                     ["bt.C", "is.C", "lu.C", "sp.C", "ua.C"]]
+        return overhead_experiment(scenarios=scenarios, rounds=3)
+    return overhead_experiment(
+        scenarios=[["mg.C"], ["ft.C"], ["ep.C", "mg.C"],
+                   ["ft.C", "cg.C", "is.C"]],
+        rounds=1,
+    )
+
+
+def test_overhead(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "# §6.6 — HARP overhead with activations ignored",
+        "",
+        "| scenario | kind | CFS [s] | HARP(ignored) [s] | overhead [%] |",
+        "|---|---|---|---|---|",
+    ]
+    for r in rows:
+        lines.append(
+            f"| {r['scenario']} | {r['kind']} | {r['cfs_makespan_s']:.2f} | "
+            f"{r['harp_makespan_s']:.2f} | {r['overhead_pct']:+.2f} |"
+        )
+    singles = [r["overhead_pct"] for r in rows if r["kind"] == "single"]
+    multis = [r["overhead_pct"] for r in rows if r["kind"] == "multi"]
+    if singles:
+        mean, std = mean_and_std(singles)
+        lines.append(f"\nsingle-app overhead: {mean:.2f} ± {std:.2f} %")
+    if multis:
+        mean, std = mean_and_std(multis)
+        lines.append(f"multi-app overhead: {mean:.2f} ± {std:.2f} %")
+    save_results("overhead", lines)
+
+    # Overhead stays small (paper: <1 % single, ~2.5 % multi).
+    for r in rows:
+        assert r["overhead_pct"] < 5.0

@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  Scale is
+controlled by ``HARP_BENCH_FULL=1`` (paper-grade runs; the default is a
+quick profile that preserves every qualitative comparison).  Every bench
+writes its row data to ``benchmarks/results/<name>.md`` so the regenerated
+tables survive pytest's output capture.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("HARP_BENCH_FULL", "0") == "1"
+
+
+def save_results(name: str, lines: list[str]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n[{name}] results written to {path}\n" + text)
+    return path
+
+
+@pytest.fixture
+def record_rows():
+    return save_results

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Custom application adaptivity: KPN applications on the Odroid (§4.1.3).
+
+The paper's *custom* path: Kahn-Process-Network applications expose
+adaptivity knobs (the replica counts of their data-parallel regions) that
+libharp reconfigures whenever the RM pushes a new allocation.  This
+example runs the ``mandelbrot`` KPN on the simulated Odroid XU3-E in both
+its static-topology and adaptive variants, against the EAS baseline, using
+offline-generated operating points — exactly the Fig. 7 setup.
+
+Usage::
+
+    python examples/custom_kpn_adaptivity.py
+"""
+
+from repro.analysis.experiments import offline_points_for
+from repro.analysis.scenarios import run_scenario
+from repro.apps import kpn_model
+from repro.apps.kpn import REPLICAS_KNOB
+
+
+def describe_topology() -> None:
+    model = kpn_model("mandelbrot")
+    print("=== mandelbrot process network ===")
+    for stage in model.stages:
+        kind = "data-parallel" if stage.parallel else "serial"
+        print(f"  {stage.name:8s} weight={stage.weight:<5} {kind} "
+              f"(default replicas: {stage.replicas})")
+    knob = model.replicas_knob_for(6)
+    print(f"\nreshaped for a 6-thread allocation: {knob[REPLICAS_KNOB]}\n")
+
+
+def compare() -> None:
+    apps = ["mandelbrot", "mandelbrot-static", "lms", "lms-static"]
+    print("generating offline operating points (DSE on the Odroid model)...")
+    tables = offline_points_for(apps, platform="odroid", probe_s=0.5,
+                                max_points=24)
+    print()
+    header = f"{'application':20s} {'EAS':>16s} {'HARP (Offline)':>18s} {'F(t)':>6s} {'F(E)':>6s}"
+    print(header)
+    print("-" * len(header))
+    for app in apps:
+        eas = run_scenario([app], platform="odroid", policy="eas",
+                           rounds=1, seed=11)
+        harp = run_scenario([app], platform="odroid", policy="harp-offline",
+                            rounds=1, seed=11, offline_tables=tables)
+        print(f"{app:20s} {eas.makespan_s:7.2f}s {eas.energy_j:6.1f}J "
+              f"{harp.makespan_s:8.2f}s {harp.energy_j:7.1f}J "
+              f"{eas.makespan_s / harp.makespan_s:6.2f} "
+              f"{eas.energy_j / harp.energy_j:6.2f}")
+    print("\nThe adaptive variants reshape their parallel regions to the "
+          "allocated cores;\nthe static twins can only be pinned, so their "
+          "gains are smaller — the paper's §6.4 observation.")
+
+
+if __name__ == "__main__":
+    describe_topology()
+    compare()

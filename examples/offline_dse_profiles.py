@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Offline design-space exploration and the /etc/harp deployment model (§4.3).
+
+Generates operating-point profiles for two applications by sweeping the
+coarse-grained configuration space of the simulated Raptor Lake, saves
+them as description files to a configuration directory (the paper's
+``/etc/harp`` model), then launches the applications under HARP with the
+profiles loaded from disk — the *HARP (Offline)* configuration.
+
+Usage::
+
+    python examples/offline_dse_profiles.py [config_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.scenarios import run_scenario
+from repro.apps import npb_model
+from repro.core.resource_vector import ErvLayout
+from repro.dse.explorer import enumerate_erv_grid, explore_application
+from repro.dse.tables import load_application_profile, save_application_profile
+from repro.platform.description import save_hardware_description
+from repro.platform.topology import raptor_lake_i9_13900k
+
+APPS = ["ep.C", "mg.C"]
+
+
+def main() -> None:
+    config_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="etc-harp-")
+    )
+    platform = raptor_lake_i9_13900k()
+    layout = ErvLayout(platform)
+
+    # The hardware description is provided by the vendor or auto-generated
+    # during setup (§4.3).
+    hw_path = config_dir / "hardware.json"
+    save_hardware_description(platform, hw_path)
+    print(f"hardware description -> {hw_path}")
+
+    # Design-time exploration: probe a sub-sampled configuration grid.
+    grid = enumerate_erv_grid(layout, max_points=80)
+    print(f"DSE grid: {len(grid)} configurations per application\n")
+    for app in APPS:
+        result = explore_application(
+            lambda app=app: npb_model(app), platform, grid=grid, probe_s=0.5
+        )
+        table = result.to_table(layout)
+        front = table.pareto_front(measured_only=True)
+        path = config_dir / "profiles" / f"{app}.json"
+        save_application_profile(table, path, platform_name=platform.name)
+        print(f"{app}: measured {len(result.points)} points, "
+              f"{len(front)} Pareto-optimal -> {path}")
+
+    # Runtime: load the profiles back and run HARP (Offline).
+    print("\nrunning HARP (Offline) with the saved profiles...")
+    tables = {}
+    for app in APPS:
+        profile = load_application_profile(
+            config_dir / "profiles" / f"{app}.json", layout
+        )
+        tables[app] = [p.to_wire() for p in profile.points]
+
+    baseline = run_scenario(APPS, policy="cfs", rounds=1, seed=3)
+    offline = run_scenario(APPS, policy="harp-offline", rounds=1, seed=3,
+                           offline_tables=tables)
+    print(f"\nCFS           : {baseline.makespan_s:6.2f} s  "
+          f"{baseline.energy_j:7.0f} J")
+    print(f"HARP (Offline): {offline.makespan_s:6.2f} s  "
+          f"{offline.energy_j:7.0f} J")
+    print(f"factors: time {baseline.makespan_s / offline.makespan_s:.2f}x, "
+          f"energy {baseline.energy_j / offline.energy_j:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

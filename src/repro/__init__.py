@@ -1,0 +1,51 @@
+"""repro — a full reproduction of *HARP: Energy-Aware and Adaptive
+Management of Heterogeneous Processors* (Middleware 2025).
+
+Public API tour:
+
+* :mod:`repro.platform` — heterogeneous CPU models (Raptor Lake, Odroid
+  XU3-E), power models, DVFS governors, energy sensors.
+* :mod:`repro.sim` — the discrete-time OS substrate: schedulers (CFS,
+  EAS, ITD, pinned), processes, perf counters.
+* :mod:`repro.apps` — workload models (NPB, TBB, TensorFlow Lite, KPN).
+* :mod:`repro.core` — HARP itself: operating points, the MMKP allocator,
+  runtime exploration, monitoring, energy attribution, the manager.
+* :mod:`repro.libharp` — the application-side library.
+* :mod:`repro.ipc` — the libharp ↔ RM protocol over Unix sockets.
+* :mod:`repro.dse` — offline design-space exploration.
+* :mod:`repro.analysis` — scenario runners and the per-figure experiment
+  harness used by ``benchmarks/``.
+
+Quickstart::
+
+    from repro.platform import raptor_lake_i9_13900k
+    from repro.analysis.scenarios import run_harp_scenario
+
+    result = run_harp_scenario(["ep.C"], platform="intel", seed=0)
+    print(result.makespan_s, result.energy_j)
+"""
+
+from repro.platform import Platform, odroid_xu3e, raptor_lake_i9_13900k
+from repro.core import (
+    ErvLayout,
+    ExtendedResourceVector,
+    HarpManager,
+    ManagerConfig,
+    OperatingPoint,
+    OperatingPointTable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "raptor_lake_i9_13900k",
+    "odroid_xu3e",
+    "ErvLayout",
+    "ExtendedResourceVector",
+    "HarpManager",
+    "ManagerConfig",
+    "OperatingPoint",
+    "OperatingPointTable",
+    "__version__",
+]

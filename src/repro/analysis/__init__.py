@@ -1,0 +1,41 @@
+"""Evaluation utilities: metrics, scenario runners, and the per-figure
+experiment harness consumed by ``benchmarks/``."""
+
+from repro.analysis.metrics import (
+    geomean,
+    improvement_factor,
+    mape,
+    mean_and_std,
+    summarize_factors,
+)
+from repro.analysis.scenarios import (
+    INTEL_MULTI_SCENARIOS,
+    INTEL_SINGLE_APPS,
+    ODROID_MULTI_SCENARIOS,
+    ODROID_SINGLE_APPS,
+    RoundResult,
+    ScenarioResult,
+    make_platform,
+    resolve_model,
+    run_scenario,
+)
+from repro.analysis.trace import TraceSample, WorldTracer
+
+__all__ = [
+    "geomean",
+    "improvement_factor",
+    "mape",
+    "mean_and_std",
+    "summarize_factors",
+    "INTEL_MULTI_SCENARIOS",
+    "INTEL_SINGLE_APPS",
+    "ODROID_MULTI_SCENARIOS",
+    "ODROID_SINGLE_APPS",
+    "RoundResult",
+    "ScenarioResult",
+    "make_platform",
+    "resolve_model",
+    "run_scenario",
+    "TraceSample",
+    "WorldTracer",
+]

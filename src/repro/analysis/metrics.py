@@ -1,0 +1,30 @@
+"""Evaluation metrics shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost import geomean, improvement_factor
+from repro.core.regression import mape
+
+__all__ = [
+    "geomean",
+    "improvement_factor",
+    "mape",
+    "mean_and_std",
+    "summarize_factors",
+]
+
+
+def mean_and_std(values: list[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation."""
+    if not values:
+        raise ValueError("empty sequence")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+def summarize_factors(rows: list[dict], key: str) -> float:
+    """Geometric mean of one improvement-factor column over result rows."""
+    return geomean([row[key] for row in rows])

@@ -1,0 +1,82 @@
+"""Plain-text report rendering for experiment results.
+
+Small, dependency-free renderers used by the CLI and the examples: aligned
+tables and horizontal bar charts for improvement factors, so quick runs
+read like the paper's figures without a plotting stack.
+"""
+
+from __future__ import annotations
+
+
+def render_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Align a list of dictionaries into a text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {
+        c: max(len(c), *(len(fmt(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(fmt(r.get(c, "")).ljust(widths[c]) for c in columns)
+        for r in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def render_factor_bars(
+    rows: list[dict],
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Horizontal bars for improvement factors, marking the 1.0 baseline.
+
+    Factors above the reference render as ``#`` past the baseline mark,
+    factors below as a shortened bar — mirroring how Fig. 6/7 read.
+    """
+    if not rows:
+        return "(no rows)"
+    max_value = max(max(r[value_key] for r in rows), reference * 1.25)
+    label_width = max(len(str(r[label_key])) for r in rows)
+    ref_col = int(width * reference / max_value)
+    lines = []
+    for r in rows:
+        value = r[value_key]
+        filled = max(0, min(width, int(round(width * value / max_value))))
+        bar = list("#" * filled + " " * (width - filled))
+        if 0 <= ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else "+"
+        lines.append(
+            f"{str(r[label_key]).rjust(label_width)} "
+            f"[{''.join(bar)}] {value:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(comparison, value_key: str = "energy_factor") -> str:
+    """Render a PolicyComparison (Fig. 6/7 data) as grouped bar charts."""
+    sections = []
+    kinds = sorted({r["kind"] for r in comparison.rows})
+    for kind in kinds:
+        rows = [
+            {
+                "label": f"{r['scenario']} ({r['policy']})",
+                value_key: r[value_key],
+            }
+            for r in comparison.rows
+            if r["kind"] == kind
+        ]
+        sections.append(f"== {kind} ==")
+        sections.append(render_factor_bars(rows, "label", value_key))
+    return "\n".join(sections)

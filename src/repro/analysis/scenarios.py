@@ -1,0 +1,237 @@
+"""Scenario definitions and runners for the paper's evaluation (§6).
+
+A *scenario* is a set of applications launched together.  Runners execute
+a scenario under one resource-management policy:
+
+* ``cfs`` — the Linux baseline on Intel (Fig. 6);
+* ``eas`` — the Energy-Aware Scheduler baseline on the Odroid (Fig. 7);
+* ``itd`` — the extended Intel-Thread-Director allocator (Fig. 6);
+* ``harp`` — HARP with online runtime exploration, measured at the stable
+  stage after a warm-up phase (§6.3);
+* ``harp-offline`` — HARP fed with offline DSE operating points;
+* ``harp-noscaling`` — HARP allocations enforced but applications left
+  unadapted (the Fig. 6 ablation).
+
+HARP variants keep one world and manager across repeated rounds so the
+profile store warms up, exactly like the paper's warm-up → stable
+methodology; each measured round reports makespan and package energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps import kpn_model, npb_model, tbb_model, tflite_model
+from repro.apps.base import ApplicationModel
+from repro.core.manager import HarpManager, ManagerConfig
+from repro.core.operating_point import MaturityStage
+from repro.libharp.adaptivity import AdaptationMode
+from repro.platform.dvfs import make_governor
+from repro.platform.topology import Platform, odroid_xu3e, raptor_lake_i9_13900k
+from repro.sim.engine import World
+from repro.sim.schedulers.cfs import CfsScheduler
+from repro.sim.schedulers.eas import EasScheduler
+from repro.sim.schedulers.itd import ItdScheduler
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+# -- evaluation scenario sets -----------------------------------------------------
+
+INTEL_SINGLE_APPS: list[str] = [
+    "bt.C", "cg.C", "ep.C", "ft.C", "is.C", "lu.C", "mg.C", "sp.C", "ua.C",
+    "binpack", "fractal", "parallel-preorder", "pi", "primes", "seismic",
+    "vgg", "alexnet",
+]
+
+INTEL_MULTI_SCENARIOS: list[list[str]] = [
+    ["is.C", "lu.C"],
+    ["ep.C", "mg.C"],
+    ["bt.C", "cg.C"],
+    ["ft.C", "sp.C", "ua.C"],
+    ["vgg", "alexnet", "ep.C"],
+    ["binpack", "fractal"],
+    ["ep.C", "mg.C", "ft.C", "cg.C"],
+    ["bt.C", "is.C", "lu.C", "sp.C", "ua.C"],
+]
+
+ODROID_SINGLE_APPS: list[str] = [
+    "bt.A", "cg.A", "ep.A", "ft.A", "is.A", "lu.A", "mg.A", "sp.A", "ua.A",
+    "mandelbrot", "mandelbrot-static", "lms", "lms-static",
+]
+
+ODROID_MULTI_SCENARIOS: list[list[str]] = [
+    ["ep.A", "ft.A"],
+    ["mg.A", "lu.A"],
+    ["is.A", "ua.A", "cg.A"],
+    ["mandelbrot", "lms"],
+    ["bt.A", "sp.A"],
+]
+
+_DEFAULT_GOVERNOR = {"intel": "powersave", "odroid": "schedutil"}
+
+
+def make_platform(name: str) -> Platform:
+    """Evaluation platform by short name: ``"intel"`` or ``"odroid"``."""
+    if name == "intel":
+        return raptor_lake_i9_13900k()
+    if name == "odroid":
+        return odroid_xu3e()
+    raise ValueError(f"unknown platform {name!r} (use 'intel' or 'odroid')")
+
+
+def resolve_model(app_name: str) -> ApplicationModel:
+    """Look up a benchmark by name across all suites."""
+    for factory in (npb_model, tbb_model, tflite_model, kpn_model):
+        try:
+            return factory(app_name)
+        except KeyError:
+            continue
+    raise KeyError(f"unknown benchmark {app_name!r}")
+
+
+# -- results ---------------------------------------------------------------------------
+
+
+@dataclass
+class RoundResult:
+    """One execution round of a scenario."""
+
+    makespan_s: float
+    energy_j: float
+    app_times: dict[str, float] = field(default_factory=dict)
+    app_energy_j: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    """Averaged measurements of a scenario under one policy."""
+
+    apps: list[str]
+    policy: str
+    platform: str
+    rounds: list[RoundResult] = field(default_factory=list)
+    warmup_rounds: int = 0
+    stable_at_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        return sum(r.makespan_s for r in self.rounds) / len(self.rounds)
+
+    @property
+    def energy_j(self) -> float:
+        return sum(r.energy_j for r in self.rounds) / len(self.rounds)
+
+
+# -- runners -----------------------------------------------------------------------------
+
+
+_BASELINE_SCHEDULERS = {
+    "cfs": CfsScheduler,
+    "eas": EasScheduler,
+    "itd": ItdScheduler,
+}
+
+
+def _run_one_round(world: World, models: list[ApplicationModel], managed: bool) -> RoundResult:
+    start_t = world.time_s
+    start_e = world.total_energy_j()
+    processes = [world.spawn(m, managed=managed) for m in models]
+    makespan = world.run_until_all_finished() - start_t
+    result = RoundResult(
+        makespan_s=makespan,
+        energy_j=world.total_energy_j() - start_e,
+    )
+    for process in processes:
+        result.app_times[process.model.name] = process.elapsed_s(world.time_s)
+        result.app_energy_j[process.model.name] = process.energy_true_j
+    return result
+
+
+def run_scenario(
+    apps: list[str],
+    platform: str = "intel",
+    policy: str = "cfs",
+    governor: str | None = None,
+    seed: int = 0,
+    rounds: int = 3,
+    warmup_max_rounds: int = 30,
+    warmup_max_seconds: float = 600.0,
+    settle_rounds: int = 2,
+    offline_tables: dict[str, list[dict]] | None = None,
+    manager_config: ManagerConfig | None = None,
+    model_factory: Callable[[str], ApplicationModel] = resolve_model,
+) -> ScenarioResult:
+    """Execute a scenario under a policy and return averaged measurements.
+
+    For HARP policies the same world (and therefore the same profile
+    store) persists across warm-up and measurement rounds; baselines use
+    a fresh world per round with distinct seeds.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    governor_name = governor or _DEFAULT_GOVERNOR[platform]
+    result = ScenarioResult(apps=list(apps), policy=policy, platform=platform)
+
+    if policy in _BASELINE_SCHEDULERS:
+        for i in range(rounds):
+            plat = make_platform(platform)
+            world = World(
+                plat,
+                _BASELINE_SCHEDULERS[policy](),
+                governor=make_governor(governor_name, plat),
+                seed=seed + i,
+            )
+            models = [model_factory(name) for name in apps]
+            result.rounds.append(_run_one_round(world, models, managed=False))
+        return result
+
+    if policy not in ("harp", "harp-offline", "harp-noscaling"):
+        raise ValueError(f"unknown policy {policy!r}")
+
+    plat = make_platform(platform)
+    world = World(
+        plat,
+        PinnedScheduler(),
+        governor=make_governor(governor_name, plat),
+        seed=seed,
+    )
+    config = manager_config or ManagerConfig()
+    if policy == "harp-offline":
+        if offline_tables is None:
+            raise ValueError("harp-offline requires offline_tables")
+        config.explore = False
+    if policy == "harp-noscaling":
+        config.adaptation = AdaptationMode.AFFINITY_ONLY
+    manager = HarpManager(
+        world, config, offline_tables=offline_tables, seed=seed
+    )
+
+    def all_stable() -> bool:
+        if not config.explore:
+            return True
+        return all(
+            name in manager.table_store
+            and manager.table_store[name].stage is MaturityStage.STABLE
+            for name in apps
+        )
+
+    warmup = 0
+    while not all_stable():
+        if warmup >= warmup_max_rounds or world.time_s > warmup_max_seconds:
+            break
+        models = [model_factory(name) for name in apps]
+        _run_one_round(world, models, managed=True)
+        warmup += 1
+    # A couple of settle rounds let the hysteresis-damped allocation land
+    # on its fixed point before measurements start.
+    for _ in range(settle_rounds if config.explore else 0):
+        models = [model_factory(name) for name in apps]
+        _run_one_round(world, models, managed=True)
+        warmup += 1
+    result.warmup_rounds = warmup
+    result.stable_at_s = dict(manager.stable_at_s)
+
+    for _ in range(rounds):
+        models = [model_factory(name) for name in apps]
+        result.rounds.append(_run_one_round(world, models, managed=True))
+    return result

@@ -1,0 +1,128 @@
+"""Execution tracing and telemetry.
+
+Records time series from a running world — per-application allocations,
+progress, package power, per-core-type busy time — for debugging,
+visualization, and the allocation-timeline reports used by the examples.
+A tracer is a plain ``on_tick`` listener; traces can be exported as
+JSON-compatible dictionaries or rendered as a text timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.engine import World
+
+
+@dataclass
+class TraceSample:
+    """One sampling instant of the world."""
+
+    time_s: float
+    package_power_w: float
+    running: dict[int, str] = field(default_factory=dict)
+    progress: dict[int, float] = field(default_factory=dict)
+    affinity_size: dict[int, int] = field(default_factory=dict)
+    nthreads: dict[int, int] = field(default_factory=dict)
+
+
+class WorldTracer:
+    """Samples world state at a fixed interval via the on_tick hook."""
+
+    def __init__(self, world: World, interval_s: float = 0.1):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.world = world
+        self.interval_s = interval_s
+        self.samples: list[TraceSample] = []
+        self._next_sample = 0.0
+        self._events: list[tuple[float, str]] = []
+        world.on_tick.append(self._on_tick)
+        world.on_process_start.append(
+            lambda p: self._events.append(
+                (world.time_s, f"start pid={p.pid} {p.model.name}")
+            )
+        )
+        world.on_process_exit.append(
+            lambda p: self._events.append(
+                (world.time_s, f"exit pid={p.pid} {p.model.name}")
+            )
+        )
+
+    @property
+    def events(self) -> list[tuple[float, str]]:
+        return list(self._events)
+
+    def _on_tick(self, world: World) -> None:
+        if world.time_s + 1e-9 < self._next_sample:
+            return
+        self._next_sample = world.time_s + self.interval_s
+        sample = TraceSample(
+            time_s=world.time_s,
+            package_power_w=world.last_stats.package_power_w,
+        )
+        for process in world.running_processes():
+            if process.daemon:
+                continue
+            sample.running[process.pid] = process.model.name
+            sample.progress[process.pid] = process.progress_fraction()
+            sample.affinity_size[process.pid] = (
+                len(process.affinity) if process.affinity else
+                world.platform.n_hw_threads
+            )
+            sample.nthreads[process.pid] = process.nthreads
+        self.samples.append(sample)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump of the trace."""
+        return {
+            "interval_s": self.interval_s,
+            "events": [{"t_s": t, "event": e} for t, e in self._events],
+            "samples": [
+                {
+                    "t_s": s.time_s,
+                    "power_w": s.package_power_w,
+                    "apps": {
+                        str(pid): {
+                            "name": s.running[pid],
+                            "progress": s.progress[pid],
+                            "hw_threads": s.affinity_size[pid],
+                            "nthreads": s.nthreads[pid],
+                        }
+                        for pid in s.running
+                    },
+                }
+                for s in self.samples
+            ],
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def timeline(self, width: int = 60) -> str:
+        """A text timeline: one row per application, '#' where running."""
+        if not self.samples:
+            return "(empty trace)"
+        apps: dict[int, str] = {}
+        for sample in self.samples:
+            apps.update(sample.running)
+        end = self.samples[-1].time_s or 1e-9
+        lines = [f"0s {'-' * width} {end:.1f}s"]
+        for pid in sorted(apps):
+            row = []
+            for col in range(width):
+                t = end * (col + 0.5) / width
+                sample = min(self.samples, key=lambda s: abs(s.time_s - t))
+                row.append("#" if pid in sample.running else ".")
+            lines.append(f"{apps[pid][:14]:>14} [{''.join(row)}]")
+        return "\n".join(lines)
+
+    def average_power_w(self) -> float:
+        """Mean package power over the trace."""
+        if not self.samples:
+            raise ValueError("empty trace")
+        return sum(s.package_power_w for s in self.samples) / len(self.samples)

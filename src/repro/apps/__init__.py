@@ -1,0 +1,29 @@
+"""Workload models: the benchmarks of the paper's evaluation (§6.2).
+
+Each factory returns an :class:`~repro.apps.base.ApplicationModel`
+calibrated to reproduce the behaviour the paper reports — scaling shape,
+memory-boundedness, contention pathologies, and runtime magnitude — on the
+matching simulated platform.
+"""
+
+from repro.apps.base import AdaptivityType, ApplicationModel, Balancing
+from repro.apps.npb import npb_intel_suite, npb_odroid_suite, npb_model
+from repro.apps.tbb import tbb_suite, tbb_model
+from repro.apps.tflite import tflite_suite, tflite_model
+from repro.apps.kpn import KpnApplicationModel, kpn_suite, kpn_model
+
+__all__ = [
+    "AdaptivityType",
+    "ApplicationModel",
+    "Balancing",
+    "npb_intel_suite",
+    "npb_odroid_suite",
+    "npb_model",
+    "tbb_suite",
+    "tbb_model",
+    "tflite_suite",
+    "tflite_model",
+    "KpnApplicationModel",
+    "kpn_suite",
+    "kpn_model",
+]

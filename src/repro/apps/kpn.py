@@ -1,0 +1,218 @@
+"""Kahn Process Network applications (§6.2, Odroid platform).
+
+The paper evaluates two embedded KPN applications through HARP's *custom*
+extension path: ``mandelbrot`` (Mandelbrot set computation) and ``lms``
+(Leighton-Micali hash-based signatures, RFC 8554).  Each exists in two
+variants:
+
+* **static** — a fixed process-network topology; HARP can only pick the
+  core set the network runs on;
+* **adaptive** — data-parallel regions (Khasanov et al., PARMA-DITAM'18)
+  whose replica counts are adaptivity knobs, letting libharp re-shape the
+  network to the allocation at runtime.
+
+The model captures pipeline semantics: the network's throughput is gated
+by its slowest stage (stage work weight divided by the compute speed of
+the stage's replicas), and upstream/downstream processes block on full or
+empty channels, lowering their activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.apps.base import AdaptivityType, ApplicationModel
+from repro.sim.engine import AppPerf, ThreadSlot
+from repro.sim.process import SimProcess
+
+REPLICAS_KNOB = "replicas"
+
+
+@dataclass(frozen=True)
+class KpnStage:
+    """One process (stage) of the network.
+
+    Attributes:
+        name: stage identifier.
+        weight: work units this stage must process per application work
+            unit (its compute demand relative to the whole).
+        parallel: whether the stage is a data-parallel region whose
+            replica count is an adaptivity knob.
+        replicas: default replica count.
+    """
+
+    name: str
+    weight: float
+    parallel: bool = False
+    replicas: int = 1
+
+
+@dataclass
+class KpnApplicationModel(ApplicationModel):
+    """Pipeline-of-stages behaviour model for KPN applications."""
+
+    stages: list[KpnStage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.stages:
+            raise ValueError("KPN application needs at least one stage")
+        self.runtime_lib = "kpn"
+
+    # -- topology ----------------------------------------------------------------
+
+    def stage_replicas(self, process: SimProcess | None = None) -> list[int]:
+        """Replica count per stage, honouring the replicas knob if set."""
+        overrides = {}
+        if process is not None:
+            overrides = process.knobs.get(REPLICAS_KNOB, {})
+        counts = []
+        for stage in self.stages:
+            if stage.parallel and stage.name in overrides:
+                counts.append(max(1, int(overrides[stage.name])))
+            else:
+                counts.append(stage.replicas)
+        return counts
+
+    def topology_size(self, process: SimProcess | None = None) -> int:
+        return sum(self.stage_replicas(process))
+
+    def default_nthreads(self, platform) -> int:
+        return self.topology_size()
+
+    def replicas_knob_for(self, total_threads: int) -> dict:
+        """Knob payload spreading ``total_threads`` over parallel stages.
+
+        Serial stages keep one replica each; the remaining budget is
+        divided across parallel regions proportionally to their weight.
+        """
+        serial = sum(1 for s in self.stages if not s.parallel)
+        parallel_stages = [s for s in self.stages if s.parallel]
+        if not parallel_stages:
+            return {}
+        budget = max(len(parallel_stages), total_threads - serial)
+        total_weight = sum(s.weight for s in parallel_stages)
+        overrides = {}
+        assigned = 0
+        for stage in parallel_stages[:-1]:
+            count = max(1, round(budget * stage.weight / total_weight))
+            overrides[stage.name] = count
+            assigned += count
+        overrides[parallel_stages[-1].name] = max(1, budget - assigned)
+        return {REPLICAS_KNOB: overrides}
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def perf(self, slots: list[ThreadSlot], process: SimProcess) -> AppPerf:
+        if not slots:
+            return AppPerf(0.0, [], 0.0)
+        replicas = self.stage_replicas(process)
+        speeds = [
+            slot.speed * self.efficiency(slot.core_type) for slot in slots
+        ]
+
+        # Slot-to-stage assignment.  The *custom* libharp KPN extension
+        # maps bottleneck processes (highest weight per replica, e.g. a
+        # serial merkle stage) onto the fastest allocated cores — the
+        # fine-grained adaptation of §4.1.3.  It is only active for
+        # adaptive variants running under HARP; static topologies and
+        # unmanaged executions bind threads to stages in plain order.
+        adaptive_mapping = (
+            self.adaptivity is AdaptivityType.CUSTOM and process.managed
+        )
+        instances = [
+            (stage_idx, instance)
+            for stage_idx, count in enumerate(replicas)
+            for instance in range(count)
+        ]
+        stage_slots: list[list[int]] = [[] for _ in self.stages]
+        if adaptive_mapping:
+            order = sorted(
+                instances,
+                key=lambda si: -self.stages[si[0]].weight
+                / max(1, replicas[si[0]]),
+            )
+            slot_order = sorted(range(len(speeds)), key=lambda i: -speeds[i])
+        else:
+            order = instances
+            slot_order = list(range(len(speeds)))
+        for (stage_idx, _), slot_idx in zip(order, slot_order):
+            stage_slots[stage_idx].append(slot_idx)
+        stage_speed = [
+            sum(speeds[i] for i in indices) for indices in stage_slots
+        ]
+
+        rate = float("inf")
+        for stage, total in zip(self.stages, stage_speed):
+            if stage.weight <= 0:
+                continue
+            if total <= 0:
+                rate = 0.0
+                break
+            rate = min(rate, total / stage.weight)
+        if rate == float("inf"):
+            rate = 0.0
+        if self.mem_bw_cap is not None:
+            rate = min(rate, self.mem_bw_cap)
+
+        activities = [0.0] * len(speeds)
+        for stage, indices, total in zip(self.stages, stage_slots, stage_speed):
+            if total <= 0:
+                continue
+            # Each replica is busy for the fraction of its capacity the
+            # pipeline actually pulls through this stage.
+            demand = rate * stage.weight
+            for i in indices:
+                activities[i] = min(1.0, demand / total)
+        ips = rate * self.ips_per_work
+        return AppPerf(rate, activities, ips)
+
+
+_MANDELBROT_STAGES = [
+    KpnStage("source", weight=0.02),
+    KpnStage("compute", weight=1.0, parallel=True, replicas=4),
+    KpnStage("sink", weight=0.02),
+]
+
+_LMS_STAGES = [
+    KpnStage("prepare", weight=0.08),
+    KpnStage("ots-sign", weight=1.0, parallel=True, replicas=4),
+    KpnStage("merkle", weight=0.22),
+]
+
+
+def _kpn_base(name: str, stages: list[KpnStage], total_work: float) -> KpnApplicationModel:
+    return KpnApplicationModel(
+        name=name,
+        adaptivity=AdaptivityType.CUSTOM,
+        total_work=total_work,
+        serial_fraction=0.0,
+        ips_per_work=1.0e9,
+        stages=list(stages),
+    )
+
+
+def kpn_model(name: str) -> KpnApplicationModel:
+    """KPN application factory.
+
+    Names: ``mandelbrot``, ``lms`` (adaptive variants) and
+    ``mandelbrot-static``, ``lms-static`` (fixed topology, §6.2).
+    """
+    if name == "mandelbrot":
+        return _kpn_base("mandelbrot", _MANDELBROT_STAGES, total_work=40.0)
+    if name == "lms":
+        return _kpn_base("lms", _LMS_STAGES, total_work=32.0)
+    if name == "mandelbrot-static":
+        model = _kpn_base("mandelbrot-static", _MANDELBROT_STAGES, total_work=40.0)
+        model.adaptivity = AdaptivityType.STATIC
+        return model
+    if name == "lms-static":
+        model = _kpn_base("lms-static", _LMS_STAGES, total_work=32.0)
+        model.adaptivity = AdaptivityType.STATIC
+        return model
+    raise KeyError(f"unknown KPN application {name!r}")
+
+
+def kpn_suite() -> list[str]:
+    """All four KPN variants of the Odroid evaluation."""
+    return ["lms", "lms-static", "mandelbrot", "mandelbrot-static"]

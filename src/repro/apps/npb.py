@@ -1,0 +1,219 @@
+"""NAS Parallel Benchmarks (OpenMP), classes A and C.
+
+The paper runs the NPB 3.4.2 OpenMP suite: class C on the Intel Raptor
+Lake and class A on the Odroid XU3-E (§6.2).  Parameters encode the
+well-known characters of the kernels:
+
+* **ep** — embarrassingly parallel, compute-bound, scales with everything
+  (Fig. 1a; its Pareto front favours even P-hyperthread counts because
+  both SMT siblings add throughput).
+* **mg** — multigrid, memory-bandwidth-bound: more cores add energy but no
+  speed; runs best on efficiency cores (Fig. 1b).
+* **lu** — pipelined SSOR solver with busy-wait synchronization: static
+  partitioning plus barrier spinning inflates IPS on imbalanced
+  heterogeneous allocations, which misleads a generic utility metric
+  (§6.3.1).
+* **is** — integer sort: short-running and bandwidth-heavy, so manager
+  startup overhead is visible (§6.4.1).
+* **bt / sp / ua / ft / cg** — intermediate compute/memory mixes.
+
+``total_work`` values are calibrated so that baseline (CFS/EAS) makespans
+land in the paper's reported magnitude ranges (seconds to about a minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.apps.base import AdaptivityType, ApplicationModel, Balancing
+
+# Class C on the Intel Raptor Lake (full-machine compute rate ≈ 18.7
+# work-units/s for a fully parallel efficiency-1.0 workload).
+_NPB_C: dict[str, ApplicationModel] = {
+    "ep.C": ApplicationModel(
+        name="ep.C",
+        power_intensity=1.15,
+        total_work=45.0,
+        serial_fraction=0.002,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=None,
+        ips_per_work=2.4e9,
+    ),
+    "mg.C": ApplicationModel(
+        name="mg.C",
+        power_intensity=0.8,
+        total_work=55.0,
+        serial_fraction=0.01,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=6.0,
+        ips_per_work=1.1e9,
+    ),
+    "lu.C": ApplicationModel(
+        name="lu.C",
+        power_intensity=1.05,
+        total_work=260.0,
+        serial_fraction=0.03,
+        balancing=Balancing.STATIC,
+        mem_bw_cap=13.0,
+        spin_ips_rate=2.6e9,
+        ips_per_work=1.3e9,
+    ),
+    "bt.C": ApplicationModel(
+        name="bt.C",
+        power_intensity=1.0,
+        total_work=280.0,
+        serial_fraction=0.02,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=14.0,
+        ips_per_work=1.5e9,
+    ),
+    "is.C": ApplicationModel(
+        name="is.C",
+        power_intensity=0.78,
+        total_work=15.0,
+        serial_fraction=0.04,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=7.0,
+        ips_per_work=0.9e9,
+    ),
+    "ua.C": ApplicationModel(
+        name="ua.C",
+        power_intensity=1.02,
+        total_work=240.0,
+        serial_fraction=0.03,
+        balancing=Balancing.STATIC,
+        mem_bw_cap=11.0,
+        ips_per_work=1.4e9,
+    ),
+    "ft.C": ApplicationModel(
+        name="ft.C",
+        power_intensity=0.92,
+        total_work=140.0,
+        serial_fraction=0.015,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=9.0,
+        ips_per_work=1.2e9,
+    ),
+    "cg.C": ApplicationModel(
+        name="cg.C",
+        power_intensity=0.85,
+        total_work=150.0,
+        serial_fraction=0.02,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=7.5,
+        ips_per_work=1.0e9,
+    ),
+    "sp.C": ApplicationModel(
+        name="sp.C",
+        power_intensity=0.97,
+        total_work=260.0,
+        serial_fraction=0.015,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=12.0,
+        ips_per_work=1.4e9,
+    ),
+}
+
+# Class A on the Odroid XU3-E (full-machine compute rate ≈ 5.4; memory
+# bandwidth on the Exynos 5422 is far lower than on the desktop part).
+_NPB_A: dict[str, ApplicationModel] = {
+    "ep.A": ApplicationModel(
+        name="ep.A",
+        power_intensity=1.15,
+        total_work=26.0,
+        serial_fraction=0.002,
+        balancing=Balancing.DYNAMIC,
+        ips_per_work=2.0e9,
+    ),
+    "mg.A": ApplicationModel(
+        name="mg.A",
+        power_intensity=0.8,
+        total_work=18.0,
+        serial_fraction=0.01,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=1.6,
+        ips_per_work=0.9e9,
+    ),
+    "lu.A": ApplicationModel(
+        name="lu.A",
+        power_intensity=1.05,
+        total_work=110.0,
+        serial_fraction=0.03,
+        balancing=Balancing.STATIC,
+        mem_bw_cap=3.6,
+        spin_ips_rate=1.8e9,
+        ips_per_work=1.1e9,
+    ),
+    "bt.A": ApplicationModel(
+        name="bt.A",
+        power_intensity=1.0,
+        total_work=90.0,
+        serial_fraction=0.02,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=3.8,
+        ips_per_work=1.2e9,
+    ),
+    "is.A": ApplicationModel(
+        name="is.A",
+        power_intensity=0.78,
+        total_work=4.0,
+        serial_fraction=0.04,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=1.9,
+        ips_per_work=0.7e9,
+    ),
+    "ua.A": ApplicationModel(
+        name="ua.A",
+        power_intensity=1.02,
+        total_work=80.0,
+        serial_fraction=0.03,
+        balancing=Balancing.STATIC,
+        mem_bw_cap=3.0,
+        ips_per_work=1.1e9,
+    ),
+    "ft.A": ApplicationModel(
+        name="ft.A",
+        power_intensity=0.92,
+        total_work=30.0,
+        serial_fraction=0.015,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=2.4,
+        ips_per_work=1.0e9,
+    ),
+    "cg.A": ApplicationModel(
+        name="cg.A",
+        power_intensity=0.85,
+        total_work=32.0,
+        serial_fraction=0.02,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=2.0,
+        ips_per_work=0.8e9,
+    ),
+    "sp.A": ApplicationModel(
+        name="sp.A",
+        power_intensity=0.97,
+        total_work=85.0,
+        serial_fraction=0.015,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=3.2,
+        ips_per_work=1.2e9,
+    ),
+}
+
+
+def npb_model(name: str) -> ApplicationModel:
+    """A fresh instance of the named NPB kernel (e.g. ``"ep.C"``)."""
+    for table in (_NPB_C, _NPB_A):
+        if name in table:
+            return replace(table[name])
+    raise KeyError(f"unknown NPB benchmark {name!r}")
+
+
+def npb_intel_suite() -> list[str]:
+    """Class C kernel names evaluated on the Intel Raptor Lake."""
+    return sorted(_NPB_C)
+
+
+def npb_odroid_suite() -> list[str]:
+    """Class A kernel names evaluated on the Odroid XU3-E."""
+    return sorted(_NPB_A)

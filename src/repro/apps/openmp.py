@@ -1,0 +1,53 @@
+"""OpenMP runtime semantics used by libharp's hooks (§4.1.3).
+
+libharp makes moldable OpenMP applications *malleable* by hooking
+``GOMP_parallel`` and overriding the team size for each parallel region.
+This module models the relevant runtime rules so the hook layer stays
+faithful to real GOMP behaviour.
+
+Note on the paper's wording: §4.1.3 states the hook sets num_threads "to
+the maximum of the user-given number and the parallelization degree
+provided by the HARP RM".  Taken literally this could never shrink a team
+below the user's request, which would defeat the scale-down behaviour the
+evaluation depends on (binpack, multi-application scenarios).  We follow
+the evident intent: an active HARP-provided degree overrides the
+user-given team size; without one, the user value (or nproc default)
+stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OmpEnvironment:
+    """The subset of OpenMP ICVs relevant to team sizing."""
+
+    omp_num_threads: int | None = None
+    nproc: int = 1
+    dynamic: bool = False
+
+    def default_team_size(self) -> int:
+        """Team size GOMP would pick with no HARP override."""
+        if self.omp_num_threads is not None:
+            if self.omp_num_threads < 1:
+                raise ValueError("OMP_NUM_THREADS must be >= 1")
+            return self.omp_num_threads
+        return max(1, self.nproc)
+
+
+def resolve_team_size(env: OmpEnvironment, harp_degree: int | None) -> int:
+    """Team size for one parallel region under the libharp GOMP hook.
+
+    Args:
+        env: the application's OpenMP environment.
+        harp_degree: parallelization degree pushed by the HARP RM (the
+            total-hardware-thread count of the active ERV); None when the
+            application is not (yet) managed.
+    """
+    if harp_degree is not None:
+        if harp_degree < 1:
+            raise ValueError("HARP parallelization degree must be >= 1")
+        return harp_degree
+    return env.default_team_size()

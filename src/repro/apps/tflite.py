@@ -1,0 +1,55 @@
+"""TensorFlow Lite image-recognition workloads (§6.2, Intel platform).
+
+The paper wraps TensorFlow Lite with a HARP-enabled shim that scales
+intra-op parallelism at runtime and evaluates two image-recognition
+models, VGG and AlexNet.  Inference is convolution-heavy: compute-bound
+with a mild bandwidth ceiling, dynamically balanced by the TF thread pool,
+and — unlike the generic benchmarks — these applications report their own
+utility metric (inferences/s) through libharp, the "true utility" channel
+of §4.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.apps.base import AdaptivityType, ApplicationModel, Balancing
+
+_TFLITE: dict[str, ApplicationModel] = {
+    "vgg": ApplicationModel(
+        name="vgg",
+        power_intensity=1.18,
+        adaptivity=AdaptivityType.CUSTOM,
+        runtime_lib="tensorflow",
+        total_work=420.0,
+        serial_fraction=0.03,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=15.0,
+        ips_per_work=2.6e9,
+        provides_utility=True,
+    ),
+    "alexnet": ApplicationModel(
+        name="alexnet",
+        power_intensity=1.12,
+        adaptivity=AdaptivityType.CUSTOM,
+        runtime_lib="tensorflow",
+        total_work=160.0,
+        serial_fraction=0.05,
+        balancing=Balancing.DYNAMIC,
+        mem_bw_cap=13.0,
+        ips_per_work=2.2e9,
+        provides_utility=True,
+    ),
+}
+
+
+def tflite_model(name: str) -> ApplicationModel:
+    """A fresh instance of the named TensorFlow Lite workload."""
+    if name not in _TFLITE:
+        raise KeyError(f"unknown TensorFlow workload {name!r}")
+    return replace(_TFLITE[name])
+
+
+def tflite_suite() -> list[str]:
+    """The two image-recognition models of the paper's evaluation."""
+    return sorted(_TFLITE)

@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro scenario  --apps ep.C mg.C --policy harp
+    python -m repro dse       --app mg.C --out mg.json
+    python -m repro hardware  --platform intel --out hw.json
+    python -m repro experiment --name attribution
+
+``scenario`` runs an evaluation scenario under one policy and prints
+makespan/energy (plus factors vs a baseline when requested); ``dse``
+generates an application profile via offline design-space exploration;
+``hardware`` writes a platform's description file; ``experiment`` runs one
+of the paper's experiments at a quick scale and prints its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import run_scenario
+
+    offline_tables = None
+    if args.profiles:
+        from repro.core.resource_vector import ErvLayout
+        from repro.analysis.scenarios import make_platform
+        from repro.dse.tables import load_application_profile
+
+        layout = ErvLayout(make_platform(args.platform))
+        offline_tables = {}
+        for path in args.profiles:
+            table = load_application_profile(path, layout)
+            offline_tables[table.app_name] = [
+                p.to_wire() for p in table.points
+            ]
+
+    result = run_scenario(
+        args.apps,
+        platform=args.platform,
+        policy=args.policy,
+        governor=args.governor,
+        rounds=args.rounds,
+        seed=args.seed,
+        offline_tables=offline_tables,
+    )
+    print(f"scenario : {' + '.join(args.apps)} on {args.platform}")
+    print(f"policy   : {args.policy}")
+    print(f"makespan : {result.makespan_s:.2f} s")
+    print(f"energy   : {result.energy_j:.0f} J")
+    if result.warmup_rounds:
+        print(f"warm-up  : {result.warmup_rounds} rounds")
+    if args.baseline:
+        base = run_scenario(
+            args.apps, platform=args.platform, policy=args.baseline,
+            governor=args.governor, rounds=args.rounds, seed=args.seed,
+        )
+        print(f"vs {args.baseline}: time {base.makespan_s / result.makespan_s:.2f}x, "
+              f"energy {base.energy_j / result.energy_j:.2f}x")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import make_platform, resolve_model
+    from repro.core.resource_vector import ErvLayout
+    from repro.dse.explorer import enumerate_erv_grid, explore_application
+    from repro.dse.tables import save_application_profile
+
+    platform = make_platform(args.platform)
+    layout = ErvLayout(platform)
+    grid = enumerate_erv_grid(layout, max_points=args.max_points)
+    print(f"exploring {args.app} on {platform.name}: "
+          f"{len(grid)} configurations × {args.probe}s probes")
+    result = explore_application(
+        lambda: resolve_model(args.app), platform, grid=grid,
+        probe_s=args.probe,
+    )
+    table = result.to_table(layout)
+    save_application_profile(table, args.out, platform_name=platform.name)
+    front = table.pareto_front(measured_only=True)
+    print(f"measured {len(result.points)} points "
+          f"({len(front)} Pareto-optimal) -> {args.out}")
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import make_platform
+    from repro.platform.description import save_hardware_description
+
+    platform = make_platform(args.platform)
+    save_hardware_description(platform, args.out)
+    print(f"{platform.name}: {platform.n_cores} cores / "
+          f"{platform.n_hw_threads} hw threads -> {args.out}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as exp
+
+    if args.name == "fig1":
+        data = exp.fig1_config_space(e_step=4, ht_step=4)
+    elif args.name == "fig5":
+        data = exp.fig5_regression(
+            apps=["ep.C", "mg.C", "is.C"], train_sizes=(10, 20, 40),
+            n_seeds=3, grid_points=60,
+        )
+    elif args.name == "fig6":
+        from repro.analysis.report import render_comparison
+
+        comparison = exp.fig6_raptor_lake(
+            single_apps=["ep.C", "mg.C"], multi_scenarios=[["ep.C", "mg.C"]],
+            policies=("itd", "harp"), rounds=1,
+        )
+        print(render_comparison(comparison, "energy_factor"))
+        data = comparison.rows
+    elif args.name == "fig7":
+        from repro.analysis.report import render_comparison
+
+        comparison = exp.fig7_odroid(
+            single_apps=["mg.A", "mandelbrot"],
+            multi_scenarios=[["ep.A", "ft.A"]], rounds=1,
+        )
+        print(render_comparison(comparison, "energy_factor"))
+        data = comparison.rows
+    elif args.name == "fig8":
+        data = exp.fig8_learning(scenarios=[["mg.C"]], max_learning_s=60.0)
+    elif args.name == "governor":
+        data = {
+            gov: cmp.rows
+            for gov, cmp in exp.governor_comparison(
+                scenarios=[["mg.C"]], policies=("harp",), rounds=1
+            ).items()
+        }
+    elif args.name == "overhead":
+        data = exp.overhead_experiment(scenarios=[["mg.C"], ["ep.C", "mg.C"]],
+                                       rounds=1)
+    elif args.name == "attribution":
+        data = exp.energy_attribution(scenarios=[["ep.C", "mg.C"]])
+    else:  # pragma: no cover - argparse choices guard this
+        raise AssertionError(args.name)
+    print(json.dumps(data, indent=2, default=str))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HARP reproduction: scenarios, DSE, and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run an evaluation scenario")
+    scenario.add_argument("--apps", nargs="+", required=True)
+    scenario.add_argument("--platform", default="intel",
+                          choices=["intel", "odroid"])
+    scenario.add_argument("--policy", default="harp",
+                          choices=["cfs", "eas", "itd", "harp",
+                                   "harp-offline", "harp-noscaling"])
+    scenario.add_argument("--baseline", default=None,
+                          choices=["cfs", "eas", "itd"])
+    scenario.add_argument("--governor", default=None)
+    scenario.add_argument("--rounds", type=int, default=1)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--profiles", nargs="*", default=None,
+                          help="application profile files for harp-offline")
+    scenario.set_defaults(func=_cmd_scenario)
+
+    dse = sub.add_parser("dse", help="offline design-space exploration")
+    dse.add_argument("--app", required=True)
+    dse.add_argument("--platform", default="intel",
+                     choices=["intel", "odroid"])
+    dse.add_argument("--out", required=True)
+    dse.add_argument("--max-points", type=int, default=80)
+    dse.add_argument("--probe", type=float, default=0.5)
+    dse.set_defaults(func=_cmd_dse)
+
+    hardware = sub.add_parser("hardware", help="write a hardware description")
+    hardware.add_argument("--platform", default="intel",
+                          choices=["intel", "odroid"])
+    hardware.add_argument("--out", required=True)
+    hardware.set_defaults(func=_cmd_hardware)
+
+    experiment = sub.add_parser("experiment",
+                                help="run one paper experiment (quick scale)")
+    experiment.add_argument("--name", required=True,
+                            choices=["fig1", "fig5", "fig6", "fig7", "fig8",
+                                     "governor", "overhead", "attribution"])
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

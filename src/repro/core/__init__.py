@@ -1,0 +1,87 @@
+"""The paper's contribution: operating points, the energy-utility cost,
+the MMKP allocator, runtime exploration, monitoring, energy attribution,
+and the HARP resource manager tying them together."""
+
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.core.operating_point import (
+    MaturityStage,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.core.pareto import (
+    common_point_ratio,
+    dominates,
+    igd,
+    pareto_front,
+    pareto_front_indices,
+)
+from repro.core.cost import (
+    energy_utility_cost,
+    geomean,
+    improvement_factor,
+    normalized_utility,
+)
+from repro.core.allocator import (
+    AllocationRequest,
+    AllocationResult,
+    GreedyAllocator,
+    LagrangianAllocator,
+    Selection,
+)
+from repro.core.regression import (
+    MLPRegressor,
+    PolynomialRegression,
+    RegressionModel,
+    SVRRegressor,
+    make_model,
+    mape,
+)
+from repro.core.energy import AttributionSample, EnergyAttributor, default_gammas
+from repro.core.monitor import ExponentialMovingAverage, MonitorSample, SystemMonitor
+from repro.core.exploration import ExplorationPlanner, poly_feature_count
+from repro.core.manager import (
+    AppSession,
+    HarpManager,
+    ManagerConfig,
+    RmDaemonModel,
+)
+
+__all__ = [
+    "ErvLayout",
+    "ExtendedResourceVector",
+    "MaturityStage",
+    "OperatingPoint",
+    "OperatingPointTable",
+    "common_point_ratio",
+    "dominates",
+    "igd",
+    "pareto_front",
+    "pareto_front_indices",
+    "energy_utility_cost",
+    "geomean",
+    "improvement_factor",
+    "normalized_utility",
+    "AllocationRequest",
+    "AllocationResult",
+    "GreedyAllocator",
+    "LagrangianAllocator",
+    "Selection",
+    "MLPRegressor",
+    "PolynomialRegression",
+    "RegressionModel",
+    "SVRRegressor",
+    "make_model",
+    "mape",
+    "AttributionSample",
+    "EnergyAttributor",
+    "default_gammas",
+    "ExponentialMovingAverage",
+    "MonitorSample",
+    "SystemMonitor",
+    "ExplorationPlanner",
+    "poly_feature_count",
+    "AppSession",
+    "HarpManager",
+    "ManagerConfig",
+    "RmDaemonModel",
+]

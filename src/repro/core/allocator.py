@@ -1,0 +1,369 @@
+"""Multi-application resource allocation (§4.2.2, Eq. 1).
+
+Selecting one operating point per application to minimize the system-wide
+energy-utility cost under per-core-type capacity constraints is a
+Multiple-choice Multi-dimensional Knapsack Problem.  Following the paper
+(and Wildermann et al.), we solve it approximately in three phases:
+
+1. **Lagrangian relaxation** — relax the capacity constraint with a
+   multiplier vector λ ≥ 0 and iterate a projected subgradient: each
+   application independently picks the point minimizing ζ + λ·r, then λ
+   moves along the constraint violation.
+2. **Greedy repair** — if the relaxed solution is still infeasible,
+   repeatedly downgrade the selection whose cheapest feasible alternative
+   costs the least extra ζ per unit of excess resource removed.
+3. **Concrete placement** — map selected extended resource vectors onto
+   disjoint physical cores and hardware threads.
+
+When applications outnumber resources, the capacity constraint is
+temporarily relaxed and the surplus applications run *co-allocated*,
+sharing cores (the paper's §4.2.2 limitation); co-allocated applications
+are flagged so the manager suspends performance monitoring for them
+(§5.1).
+
+A plain greedy solver (:class:`GreedyAllocator`) is included as an
+ablation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.operating_point import OperatingPoint
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.platform.topology import Platform
+
+
+@dataclass
+class AllocationRequest:
+    """One application's input to the allocator."""
+
+    pid: int
+    points: list[OperatingPoint]
+    max_utility: float = 1.0
+    # Fixed-cost pseudo-requests (exploring applications asking for a fair
+    # share) pin the selection to a single mandatory point.
+    mandatory: bool = False
+    # The application's currently active configuration, if any.  Its cost
+    # receives a hysteresis discount so near-tied alternatives do not make
+    # the allocation flip-flop (reconfigurations are not free).
+    preferred_erv: "ExtendedResourceVector | None" = None
+    hysteresis: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError(f"application {self.pid} offers no operating points")
+
+
+@dataclass
+class Selection:
+    """The allocator's decision for one application."""
+
+    pid: int
+    point: OperatingPoint
+    co_allocated: bool = False
+    hw_threads: frozenset[int] = frozenset()
+
+
+@dataclass
+class AllocationResult:
+    """Selections plus the concrete disjoint placement."""
+
+    selections: dict[int, Selection] = field(default_factory=dict)
+    feasible: bool = True
+
+    def erv_of(self, pid: int) -> ExtendedResourceVector:
+        return self.selections[pid].point.erv
+
+
+class LagrangianAllocator:
+    """Subgradient MMKP solver with greedy repair and placement."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        layout: ErvLayout,
+        iterations: int = 60,
+        step0: float = 1.0,
+    ):
+        self.platform = platform
+        self.layout = layout
+        self.iterations = iterations
+        self.step0 = step0
+
+    # -- public API ----------------------------------------------------------------
+
+    def allocate(
+        self,
+        requests: list[AllocationRequest],
+        capacity: list[int] | None = None,
+        reserved: dict[str, int] | None = None,
+    ) -> AllocationResult:
+        """Solve Eq. 1 and place the winners on concrete cores.
+
+        Args:
+            requests: one per application.
+            capacity: core budget per type (defaults to the platform).
+            reserved: cores per type withheld from managed applications —
+                the §4.3 production model where background/system tasks
+                get a dedicated share instead of time-sharing everywhere.
+        """
+        if capacity is None:
+            capacity = self.platform.capacity_vector()
+        if reserved:
+            capacity = [
+                max(0, cap - reserved.get(ct.name, 0))
+                for cap, ct in zip(capacity, self.platform.core_types)
+            ]
+            if sum(capacity) == 0:
+                raise ValueError("reservation leaves no cores for applications")
+        result = AllocationResult()
+        if not requests:
+            return result
+
+        choices = self._select(requests, np.asarray(capacity, dtype=float))
+        selections = {
+            req.pid: Selection(pid=req.pid, point=req.points[idx])
+            for req, idx in zip(requests, choices)
+        }
+        self._mark_and_place(selections, capacity, reserved or {})
+        result.selections = selections
+        result.feasible = not any(s.co_allocated for s in selections.values())
+        return result
+
+    @staticmethod
+    def _costs_of(req: AllocationRequest) -> np.ndarray:
+        costs = np.array([p.cost(req.max_utility) for p in req.points])
+        if req.preferred_erv is not None:
+            for i, p in enumerate(req.points):
+                if p.erv == req.preferred_erv:
+                    costs[i] *= req.hysteresis
+        return costs
+
+    # -- phase 1+2: selection ---------------------------------------------------------
+
+    def _select(
+        self, requests: list[AllocationRequest], capacity: np.ndarray
+    ) -> list[int]:
+        n_types = len(capacity)
+        costs = []
+        resources = []
+        for req in requests:
+            costs.append(self._costs_of(req))
+            resources.append(
+                np.array([p.erv.core_vector() for p in req.points], dtype=float)
+            )
+
+        lam = np.zeros(n_types)
+        cost_scale = max(
+            1.0, float(np.median([c.min() for c in costs if len(c)]))
+        )
+        total_cores = float(max(capacity.sum(), 1.0))
+        best_cost = np.inf
+        best_choice: list[int] | None = None
+        last_choice = [0] * len(requests)
+        for it in range(self.iterations):
+            choice = []
+            for req, cost_vec, res_mat in zip(requests, costs, resources):
+                if req.mandatory:
+                    choice.append(0)
+                    continue
+                penalized = cost_vec + res_mat @ lam
+                choice.append(int(np.argmin(penalized)))
+            last_choice = choice
+            demand = sum(
+                res_mat[c] for res_mat, c in zip(resources, choice)
+            )
+            violation = demand - capacity
+            if np.all(violation <= 0):
+                # Feasible iterate: keep the cheapest one seen (the dual
+                # sequence oscillates, so later iterates are not always
+                # better).
+                total = sum(c[x] for c, x in zip(costs, choice))
+                if total < best_cost:
+                    best_cost = total
+                    best_choice = choice
+            # Projected subgradient with a diminishing, scale-aware step:
+            # λ moves in cost-per-core units.
+            step = self.step0 * cost_scale / (total_cores * (1 + it))
+            lam = np.maximum(0.0, lam + step * violation)
+
+        # Primal recovery: repair both the final relaxed iterate and the
+        # unconstrained greedy choice, then keep the cheapest feasible
+        # candidate (including the best feasible dual iterate, if any).
+        unconstrained = [
+            0 if req.mandatory else int(np.argmin(cost_vec))
+            for req, cost_vec in zip(requests, costs)
+        ]
+        candidates = [
+            self._repair(requests, costs, resources, last_choice, capacity),
+            self._repair(requests, costs, resources, unconstrained, capacity),
+        ]
+        if best_choice is not None:
+            candidates.append(best_choice)
+        best = None
+        for choice in candidates:
+            total = sum(c[x] for c, x in zip(costs, choice))
+            demand = sum(res[c] for res, c in zip(resources, choice))
+            feasible = bool(np.all(demand - capacity <= 1e-9))
+            key = (not feasible, total)
+            if best is None or key < best[0]:
+                best = (key, choice)
+        assert best is not None
+        return best[1]
+
+    def _repair(
+        self,
+        requests: list[AllocationRequest],
+        costs: list[np.ndarray],
+        resources: list[np.ndarray],
+        choice: list[int],
+        capacity: np.ndarray,
+    ) -> list[int]:
+        """Greedy downgrade until the capacity constraint holds (or gives up).
+
+        Each move swaps one application's selection for the alternative
+        with the lowest extra cost per unit of *total* violation removed —
+        violations newly created on other core types count against a
+        candidate, which prevents repair from cycling between types.
+        """
+        choice = list(choice)
+        for _ in range(200):
+            demand = sum(res[c] for res, c in zip(resources, choice))
+            violation = float(np.maximum(demand - capacity, 0.0).sum())
+            if violation <= 1e-9:
+                return choice
+            best = None  # (penalty_per_unit, app_idx, point_idx)
+            for i, req in enumerate(requests):
+                if req.mandatory:
+                    continue
+                cur_cost = costs[i][choice[i]]
+                cur_res = resources[i][choice[i]]
+                base = demand - cur_res
+                for j in range(len(req.points)):
+                    if j == choice[i]:
+                        continue
+                    new_violation = float(
+                        np.maximum(base + resources[i][j] - capacity, 0.0).sum()
+                    )
+                    improvement = violation - new_violation
+                    if improvement <= 1e-9:
+                        continue
+                    penalty = (costs[i][j] - cur_cost) / improvement
+                    if best is None or penalty < best[0]:
+                        best = (penalty, i, j)
+            if best is None:
+                # Nothing can shrink further: co-allocation territory.
+                return choice
+            _, i, j = best
+            choice[i] = j
+        return choice
+
+    # -- phase 3: placement ---------------------------------------------------------------
+
+    def _mark_and_place(
+        self,
+        selections: dict[int, Selection],
+        capacity: list[int],
+        reserved: dict[str, int] | None = None,
+    ) -> None:
+        """Place ERVs disjointly; overflow applications get co-allocated.
+
+        Reserved cores (the highest-numbered ones of each type) are never
+        handed to managed applications — they stay free for background
+        work.
+        """
+        type_order = [ct.name for ct in self.platform.core_types]
+        free_cores: dict[str, list] = {}
+        for name in type_order:
+            pool = list(self.platform.cores_of_type(name))
+            hold_back = (reserved or {}).get(name, 0)
+            if hold_back:
+                pool = pool[: max(0, len(pool) - hold_back)]
+            free_cores[name] = pool
+
+        # Deterministic order: larger requests first, then pid.
+        ordered = sorted(
+            selections.values(),
+            key=lambda s: (-s.point.erv.total_cores(), s.pid),
+        )
+        pending_co: list[Selection] = []
+        for sel in ordered:
+            erv = sel.point.erv
+            demand = dict(zip(type_order, erv.core_vector()))
+            if any(demand[name] > len(free_cores[name]) for name in type_order):
+                pending_co.append(sel)
+                continue
+            hw_ids: list[int] = []
+            for comp, count in zip(erv.layout.components, erv.counts):
+                for _ in range(count):
+                    core = free_cores[comp.core_type].pop(0)
+                    hw_ids.extend(
+                        t.thread_id
+                        for t in core.hw_threads[: comp.threads_used]
+                    )
+            sel.hw_threads = frozenset(hw_ids)
+
+        # Co-allocation: share the least-loaded cores of the demanded types.
+        if pending_co:
+            core_of_hw = {
+                t.thread_id: t.core_id for t in self.platform.hw_threads
+            }
+            usage: dict[int, int] = {c.core_id: 0 for c in self.platform.cores}
+            for sel in selections.values():
+                for hw_id in sel.hw_threads:
+                    usage[core_of_hw[hw_id]] += 1
+            allowed: dict[str, list] = {}
+            for name in type_order:
+                pool = list(self.platform.cores_of_type(name))
+                hold_back = (reserved or {}).get(name, 0)
+                if hold_back:
+                    pool = pool[: max(0, len(pool) - hold_back)]
+                allowed[name] = pool
+            for sel in pending_co:
+                sel.co_allocated = True
+                erv = sel.point.erv
+                hw_ids = []
+                for comp, count in zip(erv.layout.components, erv.counts):
+                    pool = sorted(
+                        allowed.get(comp.core_type, []),
+                        key=lambda c: (usage[c.core_id], c.core_id),
+                    )
+                    take = min(count, len(pool))
+                    for core in pool[:take]:
+                        usage[core.core_id] += 1
+                        hw_ids.extend(
+                            t.thread_id
+                            for t in core.hw_threads[: comp.threads_used]
+                        )
+                if not hw_ids:
+                    # Degenerate: grant the whole machine (pure time-sharing).
+                    hw_ids = [t.thread_id for t in self.platform.hw_threads]
+                sel.hw_threads = frozenset(hw_ids)
+
+
+class GreedyAllocator(LagrangianAllocator):
+    """Ablation baseline: pure cost-greedy selection without relaxation.
+
+    Each application independently takes its cheapest point; the repair
+    phase then enforces feasibility.  No λ coordination means popular
+    resource types are oversubscribed before repair kicks in.
+    """
+
+    def _select(
+        self, requests: list[AllocationRequest], capacity: np.ndarray
+    ) -> list[int]:
+        costs = []
+        resources = []
+        choice = []
+        for req in requests:
+            cost_vec = self._costs_of(req)
+            res_mat = np.array(
+                [p.erv.core_vector() for p in req.points], dtype=float
+            )
+            costs.append(cost_vec)
+            resources.append(res_mat)
+            choice.append(0 if req.mandatory else int(np.argmin(cost_vec)))
+        return self._repair(requests, costs, resources, choice, capacity)

@@ -1,0 +1,55 @@
+"""Energy-utility cost (Eq. 2).
+
+HARP steers its MMKP allocator with *instant* metrics — utility v (work/s,
+IPS, or an application-specific rate) and power p — rather than execution
+time and energy.  The cost adapts the Energy-Delay Product: with utility
+inversely proportional to delay,
+
+    ζ(o) = (p / v*) · (1 / v*)
+
+where v* is the utility normalized by the maximum utility observed for the
+application, making differently scaled utility metrics comparable across
+applications.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Normalized utilities below this floor are clamped to keep ζ finite for
+# degenerate (near-zero progress) operating points; such points end up with
+# an enormous but orderable cost instead of infinity.
+MIN_NORMALIZED_UTILITY = 1e-6
+
+
+def normalized_utility(utility: float, max_utility: float) -> float:
+    """v* = v / v_max, clamped to (0, ...]."""
+    if max_utility <= 0:
+        raise ValueError("max_utility must be > 0")
+    if utility < 0:
+        utility = 0.0
+    return max(utility / max_utility, MIN_NORMALIZED_UTILITY)
+
+
+def energy_utility_cost(power: float, utility: float, max_utility: float) -> float:
+    """ζ = (p / v*) · (1 / v*) — lower is better."""
+    if power < 0:
+        raise ValueError("power must be >= 0")
+    v_star = normalized_utility(utility, max_utility)
+    return (power / v_star) * (1.0 / v_star)
+
+
+def improvement_factor(baseline: float, value: float) -> float:
+    """Paper's improvement factor F: F× faster / F× less energy than baseline."""
+    if value <= 0 or baseline <= 0:
+        raise ValueError("values must be > 0")
+    return baseline / value
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean, as used for the Fig. 6/7 scenario summaries."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,217 @@
+"""Runtime exploration of operating points (§5.3).
+
+Applications move through three maturity stages:
+
+* **initial** — too few measurements for even a preliminary regression
+  model; the next point is the candidate furthest (in extended-resource-
+  vector space) from everything measured so far, maximizing diversity;
+* **refinement** — a preliminary second-degree polynomial model exists but
+  is unreliable; the heuristic first repairs *negative* utility/power
+  predictions (largest combined error, geometric mean of the negative
+  deviations), then targets the largest discrepancy between the primary
+  model and an auxiliary model anchored at the zero point (no cores → no
+  utility, no power);
+* **stable** — 25 configurations explored; the table is trusted and
+  re-assessed only at a long interval (every 100 measurements in the
+  paper's evaluation).
+
+The planner also fills the operating-point table with regression
+predictions for every unmeasured candidate, which the allocator consumes
+alongside the measured points (§5, challenge 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.operating_point import (
+    MaturityStage,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.core.regression import RegressionModel, make_model
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+
+
+def poly_feature_count(n_inputs: int, degree: int = 2) -> int:
+    """Number of coefficients of a degree-d polynomial in n variables."""
+    count = 1
+    for total in range(1, degree + 1):
+        count += math.comb(n_inputs + total - 1, total)
+    return count
+
+
+class ExplorationPlanner:
+    """Implements the stage logic and point-selection heuristics."""
+
+    def __init__(
+        self,
+        layout: ErvLayout,
+        model_name: str = "poly2",
+        initial_threshold: int | None = None,
+        stable_after: int = 25,
+    ):
+        self.layout = layout
+        self.model_name = model_name
+        if initial_threshold is None:
+            # A preliminary model needs at least as many measurements as
+            # the regression has coefficients.
+            initial_threshold = poly_feature_count(len(layout), degree=2)
+        self.initial_threshold = initial_threshold
+        self.stable_after = stable_after
+
+    # -- stages -----------------------------------------------------------------
+
+    def stage_of(self, table: OperatingPointTable) -> MaturityStage:
+        """Classify the table's maturity and update its stage field."""
+        measured = table.measured_count()
+        if measured >= self.stable_after:
+            stage = MaturityStage.STABLE
+        elif measured >= self.initial_threshold:
+            stage = MaturityStage.REFINEMENT
+        else:
+            stage = MaturityStage.INITIAL
+        table.stage = stage
+        return stage
+
+    # -- model fitting -------------------------------------------------------------
+
+    def fit_models(
+        self, table: OperatingPointTable, anchor_zero: bool = False
+    ) -> tuple[RegressionModel, RegressionModel] | None:
+        """Fit (utility, power) models on the measured points.
+
+        Args:
+            anchor_zero: include the paper's auxiliary anchor — zero
+                utility and power for the empty allocation.
+        """
+        measured = table.measured_points()
+        if len(measured) < 2:
+            return None
+        x = np.array([p.erv.as_array() for p in measured])
+        y_u = np.array([p.utility for p in measured])
+        y_p = np.array([p.power for p in measured])
+        if anchor_zero:
+            zero = np.zeros((1, x.shape[1]))
+            x = np.vstack([x, zero])
+            y_u = np.append(y_u, 0.0)
+            y_p = np.append(y_p, 0.0)
+        model_u = make_model(self.model_name).fit(x, y_u)
+        model_p = make_model(self.model_name).fit(x, y_p)
+        return model_u, model_p
+
+    # -- point selection ---------------------------------------------------------------
+
+    def next_point(
+        self,
+        table: OperatingPointTable,
+        candidates: list[ExtendedResourceVector],
+    ) -> ExtendedResourceVector | None:
+        """The next configuration to measure, or None when exhausted."""
+        measured_ervs = {p.erv for p in table.measured_points()}
+        unmeasured = [c for c in candidates if c not in measured_ervs]
+        if not unmeasured:
+            return None
+        stage = self.stage_of(table)
+        if stage is MaturityStage.INITIAL:
+            return self._furthest_point(measured_ervs, unmeasured)
+        return self._refinement_point(table, unmeasured)
+
+    def _furthest_point(
+        self,
+        measured: set[ExtendedResourceVector],
+        candidates: list[ExtendedResourceVector],
+    ) -> ExtendedResourceVector:
+        if not measured:
+            # Nothing measured yet: start from the largest allocation, the
+            # most informative corner of the space.
+            return max(candidates, key=lambda c: (c.total_threads(), c.counts))
+        def min_dist(candidate: ExtendedResourceVector) -> float:
+            return min(candidate.distance(m) for m in measured)
+        return max(candidates, key=lambda c: (min_dist(c), c.counts))
+
+    def _refinement_point(
+        self,
+        table: OperatingPointTable,
+        candidates: list[ExtendedResourceVector],
+    ) -> ExtendedResourceVector:
+        primary = self.fit_models(table, anchor_zero=False)
+        if primary is None:
+            return self._furthest_point(
+                {p.erv for p in table.measured_points()}, candidates
+            )
+        model_u, model_p = primary
+        x = np.array([c.as_array() for c in candidates])
+        pred_u = model_u.predict(x)
+        pred_p = model_p.predict(x)
+
+        # Priority 1: repair negative predictions.
+        neg_u = np.maximum(0.0, -pred_u)
+        neg_p = np.maximum(0.0, -pred_p)
+        has_negative = (neg_u > 0) | (neg_p > 0)
+        if has_negative.any():
+            # Combined error: geometric mean of the negative deviations,
+            # with a single-sided fallback so lone negatives still rank.
+            combined = np.sqrt(neg_u * neg_p)
+            fallback = np.maximum(neg_u / max(pred_u.max(), 1e-9),
+                                  neg_p / max(pred_p.max(), 1e-9))
+            score = np.where(combined > 0, combined, 0.0)
+            if score.max() > 0:
+                return candidates[int(np.argmax(score))]
+            masked = np.where(has_negative, fallback, -np.inf)
+            return candidates[int(np.argmax(masked))]
+
+        # Priority 2: largest discrepancy against the zero-anchored model.
+        auxiliary = self.fit_models(table, anchor_zero=True)
+        if auxiliary is None:
+            return candidates[0]
+        aux_u, aux_p = auxiliary
+        diff_u = np.abs(pred_u - aux_u.predict(x))
+        diff_p = np.abs(pred_p - aux_p.predict(x))
+        discrepancy = np.sqrt(diff_u * diff_p)
+        return candidates[int(np.argmax(discrepancy))]
+
+    # -- table completion -----------------------------------------------------------------
+
+    def predict_missing(
+        self,
+        table: OperatingPointTable,
+        candidates: list[ExtendedResourceVector],
+    ) -> int:
+        """Fill unmeasured candidates with regression-predicted points.
+
+        Returns the number of predicted points written.  Predictions are
+        clamped to be non-negative; existing measured entries are never
+        overwritten.
+        """
+        models = self.fit_models(table, anchor_zero=False)
+        if models is None:
+            return 0
+        model_u, model_p = models
+        measured = table.measured_points()
+        measured_ervs = {p.erv for p in measured}
+        missing = [c for c in candidates if c not in measured_ervs]
+        if not missing:
+            return 0
+        x = np.array([c.as_array() for c in missing])
+        pred_u = np.maximum(0.0, model_u.predict(x))
+        pred_p = np.maximum(0.0, model_p.predict(x))
+        # Polynomial extrapolation far outside the measured region can
+        # invent operating points that look better than anything observed,
+        # which would systematically mislead the allocator.  Clamp
+        # predictions into the measured envelope: utility never exceeds
+        # the best observation, power never leaves the observed range.
+        utilities = [p.utility for p in measured]
+        powers = [p.power for p in measured if p.power > 0]
+        if utilities:
+            pred_u = np.minimum(pred_u, max(utilities))
+        if powers:
+            pred_p = np.clip(pred_p, 0.5 * min(powers), 1.5 * max(powers))
+        for erv, utility, power in zip(missing, pred_u, pred_p):
+            point = table.get_or_create(erv)
+            if not point.measured:
+                point.utility = float(utility)
+                point.power = float(power)
+        return len(missing)

@@ -1,0 +1,646 @@
+"""The HARP resource manager (§4).
+
+A single RM instance oversees all managed applications: it maintains their
+operating-point tables (from description files and/or runtime
+exploration), runs the MMKP allocator on every system event, pushes
+activation messages through libharp, polls utility feedback, and samples
+utility/power through the monitoring stack.
+
+The manager runs against the simulated world but observes it only through
+the paper's interfaces — perf counters, energy sensors, CPU-time
+accounting, and libharp messages.  Its own CPU consumption is modelled by
+a daemon process that time-shares the machine with the workload,
+reproducing the §6.6 overhead experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.allocator import (
+    AllocationRequest,
+    AllocationResult,
+    LagrangianAllocator,
+)
+from repro.core.energy import EnergyAttributor
+from repro.core.exploration import ExplorationPlanner
+from repro.core.monitor import SystemMonitor
+from repro.core.operating_point import (
+    MaturityStage,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.apps.base import ApplicationModel
+from repro.ipc.client import InProcessTransport
+from repro.ipc.messages import (
+    Ack,
+    ActivateOperatingPoint,
+    DeregisterRequest,
+    Message,
+    OperatingPointsMessage,
+    RegisterReply,
+    RegisterRequest,
+    UtilityReply,
+    UtilityRequest,
+)
+from repro.libharp.adaptivity import AdaptationMode, SimProcessAdapter
+from repro.libharp.client import LibHarpClient
+from repro.sim.engine import AppPerf, ThreadSlot, World
+from repro.sim.process import SimProcess
+
+
+# -- RM daemon overhead model -------------------------------------------------------
+
+
+@dataclass
+class RmDaemonModel(ApplicationModel):
+    """The RM's own CPU footprint: a single mostly-idle daemon thread.
+
+    The manager charges busy seconds for monitoring, allocation runs, and
+    message handling; the daemon thread consumes them by time-sharing a
+    hardware thread with the workload, which is exactly how the overhead
+    manifests in the paper's §6.6 experiment.
+    """
+
+    pending_busy_s: float = 0.0
+    _tick_hint_s: float = 0.01
+
+    def __init__(self, tick_hint_s: float = 0.01):
+        super().__init__(
+            name="harp-rm",
+            total_work=float("inf"),
+            serial_fraction=0.0,
+            ips_per_work=0.0,
+            runtime_lib=None,
+            fixed_nthreads=1,
+        )
+        self.pending_busy_s = 0.0
+        self._tick_hint_s = tick_hint_s
+
+    def charge(self, seconds: float) -> None:
+        """Account RM work to be burned on the daemon thread."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.pending_busy_s += seconds
+
+    def thread_demand(self, process: SimProcess) -> float:
+        return min(1.0, self.pending_busy_s / self._tick_hint_s)
+
+    def perf(self, slots: list[ThreadSlot], process: SimProcess) -> AppPerf:
+        if not slots:
+            return AppPerf(0.0, [], 0.0)
+        activity = min(1.0, self.pending_busy_s / self._tick_hint_s)
+        self.pending_busy_s = max(0.0, self.pending_busy_s - self._tick_hint_s)
+        activities = [activity] + [0.0] * (len(slots) - 1)
+        return AppPerf(0.0, activities, activity * 1.5e9)
+
+
+# -- configuration ---------------------------------------------------------------------
+
+
+@dataclass
+class ManagerConfig:
+    """Tunables of the RM; defaults follow the paper's evaluation (§5.3, §6)."""
+
+    measure_interval_s: float = 0.05
+    measurements_per_point: int = 20
+    stable_after: int = 25
+    stable_realloc_measurements: int = 100
+    ema_alpha: float = 0.1
+    adaptation: AdaptationMode = AdaptationMode.FULL
+    explore: bool = True
+    utility_polling: bool = True
+    startup_delay_s: float = 0.25
+    model_overhead: bool = True
+    # RM work accounting (seconds of daemon CPU per operation).
+    cost_per_sample_s: float = 0.00015
+    cost_per_allocation_s: float = 0.0015
+    cost_per_message_s: float = 0.00008
+    # Cores per type withheld from managed applications for background and
+    # system tasks — the production deployment model of §4.3 (the paper's
+    # evaluation variant leaves this empty and lets background work
+    # time-share with the managed applications).
+    background_reserve: dict[str, int] | None = None
+
+
+@dataclass
+class AppSession:
+    """Per-application RM state."""
+
+    pid: int
+    process: SimProcess
+    adapter: SimProcessAdapter
+    client: LibHarpClient
+    transport: InProcessTransport
+    table: OperatingPointTable
+    provides_utility: bool = False
+    current_erv: ExtendedResourceVector | None = None
+    current_knobs: dict = field(default_factory=dict)
+    current_hw: frozenset[int] = frozenset()
+    co_allocated: bool = False
+    samples_at_current: int = 0
+    measurements_total: int = 0
+    explored: set[ExtendedResourceVector] = field(default_factory=set)
+    activation_due_s: float | None = None
+    pending_activation: ActivateOperatingPoint | None = None
+    stable_since_s: float | None = None
+    # The first interval after a reconfiguration straddles both
+    # configurations; its sample is discarded.
+    skip_next_sample: bool = False
+
+    def stage(self) -> MaturityStage:
+        return self.table.stage
+
+
+class HarpManager:
+    """Event-driven orchestration of allocation, exploration, monitoring."""
+
+    def __init__(
+        self,
+        world: World,
+        config: ManagerConfig | None = None,
+        offline_tables: dict[str, list[dict]] | None = None,
+        allocator: LagrangianAllocator | None = None,
+        attributor: EnergyAttributor | None = None,
+        seed: int = 0,
+    ):
+        self.world = world
+        self.config = config or ManagerConfig()
+        self.layout = ErvLayout(world.platform)
+        self.allocator = allocator or LagrangianAllocator(
+            world.platform, self.layout
+        )
+        # On small platforms the whole coarse-grained space may hold fewer
+        # configurations than the stable threshold; exploration is done
+        # once everything reachable has been measured.
+        space_size = len(self.layout.enumerate_all())
+        self.planner = ExplorationPlanner(
+            self.layout,
+            stable_after=min(self.config.stable_after, space_size),
+        )
+        self.monitor = SystemMonitor(
+            world, attributor or EnergyAttributor(world.platform)
+        )
+        self.offline_tables = dict(offline_tables or {})
+        self.sessions: dict[int, AppSession] = {}
+        # Profile store (§4.3): tables persist across application runs and
+        # are refined over time, enabling the warm-up → stable methodology
+        # of the evaluation.
+        self.table_store: dict[str, OperatingPointTable] = {}
+        # First time each application's table reached the stable stage
+        # (world seconds), for the §6.5 learning analysis.
+        self.stable_at_s: dict[str, float] = {}
+        self.allocation_epochs = 0
+        self._all_ervs = self.layout.enumerate_all()
+        self._next_sample_s = 0.0
+        self._rm_model: RmDaemonModel | None = None
+        if self.config.model_overhead:
+            self._rm_model = RmDaemonModel(tick_hint_s=world.tick_s)
+            world.spawn(self._rm_model, nthreads=1, daemon=True)
+        world.on_process_start.append(self._on_process_start)
+        world.on_process_exit.append(self._on_process_exit)
+        world.on_tick.append(self._on_tick)
+
+    # -- message handling (the RM side of Fig. 3) ----------------------------------
+
+    def handle_request(self, message: Message) -> Message:
+        """Dispatch one libharp request; usable behind a socket server too."""
+        self._charge(self.config.cost_per_message_s)
+        if isinstance(message, RegisterRequest):
+            return RegisterReply(ok=True, session_id=message.pid)
+        if isinstance(message, OperatingPointsMessage):
+            session = self.sessions.get(message.pid)
+            if session is None:
+                return Ack(ok=False, error=f"unknown pid {message.pid}")
+            for raw in message.points:
+                session.table.add(OperatingPoint.from_wire(self.layout, raw))
+            return Ack(ok=True)
+        if isinstance(message, DeregisterRequest):
+            self.sessions.pop(message.pid, None)
+            return Ack(ok=True)
+        return Ack(ok=False, error=f"unexpected request {message.TYPE!r}")
+
+    # -- world events -----------------------------------------------------------------
+
+    def _on_process_start(self, process: SimProcess) -> None:
+        if not process.managed or process.daemon:
+            return
+        transport = InProcessTransport(self.handle_request)
+        adapter = SimProcessAdapter(
+            process,
+            mode=self.config.adaptation,
+            clock=lambda: self.world.time_s,
+        )
+        table = self.table_store.get(process.model.name)
+        if table is None:
+            table = OperatingPointTable(process.model.name, self.layout)
+            self.table_store[process.model.name] = table
+        session = AppSession(
+            pid=process.pid,
+            process=process,
+            adapter=adapter,
+            client=LibHarpClient(
+                adapter,
+                transport,
+                description_points=self.offline_tables.get(process.model.name),
+            ),
+            transport=transport,
+            table=table,
+        )
+        # Registration must exist before the points message arrives.
+        self.sessions[process.pid] = session
+        session.client.register()
+        session.provides_utility = adapter.provides_utility
+        if not self.config.explore:
+            # Offline mode: the description table is authoritative.
+            session.table.stage = MaturityStage.STABLE
+        self._charge(self.config.cost_per_message_s * 2)
+        self.reallocate()
+
+    def _on_process_exit(self, process: SimProcess) -> None:
+        session = self.sessions.pop(process.pid, None)
+        if session is None:
+            return
+        self.monitor.forget(process.pid)
+        self._charge(self.config.cost_per_message_s)
+        if self.sessions:
+            self.reallocate()
+
+    def _on_tick(self, world: World) -> None:
+        now = world.time_s
+        # Apply deferred activations (registration/communication latency).
+        for session in self.sessions.values():
+            if (
+                session.pending_activation is not None
+                and session.activation_due_s is not None
+                and now >= session.activation_due_s
+            ):
+                self._push_activation(session, session.pending_activation)
+                session.pending_activation = None
+                session.activation_due_s = None
+        if now + 1e-9 >= self._next_sample_s:
+            self._next_sample_s = now + self.config.measure_interval_s
+            self._sample_all()
+
+    # -- monitoring & exploration progress -------------------------------------------
+
+    def _sample_all(self) -> None:
+        sessions = [
+            s
+            for s in self.sessions.values()
+            if not s.process.finished
+        ]
+        if not sessions:
+            return
+        self._charge(self.config.cost_per_sample_s * len(sessions))
+        utilities: dict[int, float | None] = {}
+        if self.config.utility_polling:
+            for session in sessions:
+                if session.provides_utility:
+                    reply = session.transport.push(
+                        UtilityRequest(pid=session.pid)
+                    )
+                    self._charge(self.config.cost_per_message_s)
+                    if isinstance(reply, UtilityReply):
+                        utilities[session.pid] = reply.utility
+        samples = self.monitor.sample(
+            [s.pid for s in sessions], app_utilities=utilities
+        )
+        needs_reallocation = False
+        for session in sessions:
+            sample = samples.get(session.pid)
+            if sample is None:
+                continue
+            # Co-allocated applications are not monitored (§4.2.2): the
+            # interference would poison the operating-point table.
+            if session.co_allocated or session.current_erv is None:
+                continue
+            if session.pending_activation is not None:
+                continue  # allocation not applied yet
+            if session.skip_next_sample:
+                session.skip_next_sample = False
+                continue
+            session.table.record_measurement(
+                session.current_erv,
+                sample.utility,
+                sample.power_w,
+                alpha=self.config.ema_alpha,
+            )
+            session.samples_at_current += 1
+            session.measurements_total += 1
+            self._on_measurement(session, sample)
+            if not self.config.explore:
+                continue
+            stage = self.planner.stage_of(session.table)
+            if stage is MaturityStage.STABLE:
+                if session.stable_since_s is None:
+                    session.stable_since_s = self.world.time_s
+                self.stable_at_s.setdefault(
+                    session.table.app_name, self.world.time_s
+                )
+                if (
+                    session.measurements_total
+                    % self.config.stable_realloc_measurements
+                    == 0
+                ):
+                    needs_reallocation = True
+            else:
+                if session.samples_at_current >= self.config.measurements_per_point:
+                    needs_reallocation = True
+        if needs_reallocation:
+            self.reallocate()
+
+    def _on_measurement(self, session: AppSession, sample) -> None:
+        """Hook invoked after each recorded measurement (extension point,
+        used by e.g. the phase-detection extension)."""
+
+    # -- the allocation epoch -----------------------------------------------------------
+
+    def reallocate(self) -> AllocationResult | None:
+        """Run the two-stage algorithm of §5.3: allocate, then explore."""
+        sessions = [
+            s for s in self.sessions.values() if not s.process.finished
+        ]
+        if not sessions:
+            return None
+        self.allocation_epochs += 1
+        self._charge(self.config.cost_per_allocation_s)
+        reserve = self.config.background_reserve or {}
+        capacity = [
+            max(0, cap - reserve.get(ct.name, 0))
+            for cap, ct in zip(
+                self.world.platform.capacity_vector(),
+                self.world.platform.core_types,
+            )
+        ]
+        type_names = [ct.name for ct in self.world.platform.core_types]
+
+        explorers = [
+            s
+            for s in sessions
+            if self.config.explore
+            and self.planner.stage_of(s.table) is not MaturityStage.STABLE
+        ]
+        stable = [s for s in sessions if s not in explorers]
+
+        requests: list[AllocationRequest] = []
+        fair_erv = self._fair_share_erv(len(sessions))
+        for session in explorers:
+            requests.append(
+                AllocationRequest(
+                    pid=session.pid,
+                    points=[OperatingPoint(erv=fair_erv, utility=1.0, power=1.0)],
+                    mandatory=True,
+                )
+            )
+        for session in stable:
+            if self.config.explore:
+                # Complete the table with regression approximations for
+                # not-yet-explored configurations (§5, challenge 2).  In
+                # offline mode the description table is authoritative.
+                self.planner.predict_missing(session.table, self._all_ervs)
+            points = [
+                p
+                for p in session.table
+                if not p.erv.is_empty()
+                and p.erv.fits(capacity)
+                and (p.measured or p.utility > 0)
+            ]
+            if not points:
+                points = [OperatingPoint(erv=fair_erv, utility=1.0, power=1.0)]
+            requests.append(
+                AllocationRequest(
+                    pid=session.pid,
+                    points=points,
+                    max_utility=session.table.max_utility(),
+                    preferred_erv=session.current_erv,
+                )
+            )
+
+        result = self.allocator.allocate(
+            requests,
+            self.world.platform.capacity_vector(),
+            reserved=reserve or None,
+        )
+
+        # Stage 2: exploration within assigned bounds plus the free cores
+        # (excluding any background reservation).
+        assigned_cores = self._assigned_core_ids(result)
+        free_by_type = {}
+        for name in type_names:
+            pool = self.world.platform.cores_of_type(name)
+            hold_back = reserve.get(name, 0)
+            if hold_back:
+                pool = pool[: max(0, len(pool) - hold_back)]
+            free_by_type[name] = [
+                c for c in pool if c.core_id not in assigned_cores
+            ]
+        explorer_regions = self._split_free_cores(result, explorers, free_by_type)
+
+        for session in sessions:
+            selection = result.selections[session.pid]
+            session.co_allocated = selection.co_allocated
+            if session in explorers:
+                self._advance_exploration(session, explorer_regions[session.pid])
+            else:
+                self._activate(
+                    session,
+                    selection.point.erv,
+                    selection.point.knobs,
+                    selection.hw_threads,
+                )
+        return result
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _fair_share_erv(self, n_sessions: int) -> ExtendedResourceVector:
+        """An even split of the machine used while exploring (§5.3)."""
+        reserve = self.config.background_reserve or {}
+        counts: dict[tuple[str, int], int] = {}
+        any_core = False
+        for ct in self.world.platform.core_types:
+            available = max(
+                0, self.world.platform.count_of_type(ct.name) - reserve.get(ct.name, 0)
+            )
+            share = available // max(1, n_sessions)
+            if share > 0:
+                counts[(ct.name, ct.smt)] = share
+                any_core = True
+        if not any_core:
+            # More applications than cores: ask for a single core of the
+            # most plentiful type and let co-allocation handle the rest.
+            biggest = max(
+                self.world.platform.core_types,
+                key=lambda ct: self.world.platform.count_of_type(ct.name),
+            )
+            counts[(biggest.name, biggest.smt)] = 1
+        return self.layout.from_counts(counts)
+
+    def _assigned_core_ids(self, result: AllocationResult) -> set[int]:
+        core_of_hw = {
+            t.thread_id: t.core_id for t in self.world.platform.hw_threads
+        }
+        return {
+            core_of_hw[hw_id]
+            for sel in result.selections.values()
+            for hw_id in sel.hw_threads
+        }
+
+    def _split_free_cores(
+        self,
+        result: AllocationResult,
+        explorers: list[AppSession],
+        free_by_type: dict[str, list],
+    ) -> dict[int, list]:
+        """Give each explorer its assigned cores plus an even cut of the rest."""
+        regions: dict[int, list] = {}
+        if not explorers:
+            return regions
+        core_by_id = {c.core_id: c for c in self.world.platform.cores}
+        core_of_hw = {
+            t.thread_id: t.core_id for t in self.world.platform.hw_threads
+        }
+        for session in explorers:
+            own = {
+                core_of_hw[hw_id]
+                for hw_id in result.selections[session.pid].hw_threads
+            }
+            regions[session.pid] = [core_by_id[cid] for cid in sorted(own)]
+        index = 0
+        ordered = sorted(explorers, key=lambda s: s.pid)
+        for name, cores in free_by_type.items():
+            for core in cores:
+                regions[ordered[index % len(ordered)].pid].append(core)
+                index += 1
+        return regions
+
+    def _region_capacity(self, cores: list) -> dict[str, int]:
+        capacity: dict[str, int] = {}
+        for core in cores:
+            capacity[core.core_type.name] = capacity.get(core.core_type.name, 0) + 1
+        return capacity
+
+    def _advance_exploration(self, session: AppSession, region: list) -> None:
+        """Pick (or keep) the exploration point and place it in the region."""
+        region_cap = self._region_capacity(region)
+        capacity_vec = [
+            region_cap.get(ct.name, 0) for ct in self.world.platform.core_types
+        ]
+        candidates = [
+            erv
+            for erv in self._all_ervs
+            if all(u <= c for u, c in zip(erv.core_vector(), capacity_vec))
+        ]
+        if not candidates:
+            session.current_erv = None
+            return
+        keep_current = (
+            session.current_erv is not None
+            and session.samples_at_current < self.config.measurements_per_point
+            and session.current_erv in set(candidates)
+        )
+        if keep_current:
+            erv = session.current_erv
+        else:
+            erv = self.planner.next_point(session.table, candidates)
+            if erv is None:
+                # Everything reachable is measured; re-measure the best.
+                erv = max(
+                    candidates,
+                    key=lambda c: (
+                        session.table.get(c).utility
+                        if session.table.get(c)
+                        else 0.0
+                    ),
+                )
+            session.samples_at_current = 0
+            session.explored.add(erv)
+        hw_threads = self._place_in_region(erv, region)
+        self._activate(session, erv, {}, hw_threads)
+
+    def _place_in_region(
+        self, erv: ExtendedResourceVector, region: list
+    ) -> frozenset[int]:
+        pools: dict[str, list] = {}
+        for core in region:
+            pools.setdefault(core.core_type.name, []).append(core)
+        hw_ids: list[int] = []
+        for comp, count in zip(erv.layout.components, erv.counts):
+            pool = pools.get(comp.core_type, [])
+            for _ in range(count):
+                if not pool:
+                    break
+                core = pool.pop(0)
+                hw_ids.extend(
+                    t.thread_id for t in core.hw_threads[: comp.threads_used]
+                )
+        return frozenset(hw_ids)
+
+    def _activate(
+        self,
+        session: AppSession,
+        erv: ExtendedResourceVector,
+        knobs: dict,
+        hw_threads: frozenset[int],
+    ) -> None:
+        if not hw_threads:
+            return
+        changed = (
+            erv != session.current_erv or hw_threads != session.current_hw
+        )
+        message = ActivateOperatingPoint(
+            pid=session.pid,
+            erv=erv.to_wire(),
+            degree=erv.total_threads(),
+            knobs=dict(knobs),
+            hw_threads=sorted(hw_threads),
+        )
+        if erv != session.current_erv:
+            session.samples_at_current = 0
+        session.current_erv = erv
+        session.current_knobs = dict(knobs)
+        session.current_hw = hw_threads
+        if not changed:
+            return
+        # Initial activation is deferred by the registration/communication
+        # latency; later pushes apply immediately.
+        if session.client.activations == 0:
+            session.activation_due_s = (
+                session.process.start_time_s + self.config.startup_delay_s
+            )
+            if self.world.time_s >= session.activation_due_s:
+                session.pending_activation = None
+                self._push_activation(session, message)
+            else:
+                session.pending_activation = message
+        else:
+            self._push_activation(session, message)
+
+    def _push_activation(
+        self, session: AppSession, message: ActivateOperatingPoint
+    ) -> None:
+        self._charge(self.config.cost_per_message_s)
+        session.skip_next_sample = True
+        session.transport.push(message)
+
+    def _charge(self, seconds: float) -> None:
+        if self._rm_model is not None:
+            self._rm_model.charge(seconds)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def stages(self) -> dict[int, MaturityStage]:
+        """Current maturity stage per managed application."""
+        return {pid: s.table.stage for pid, s in self.sessions.items()}
+
+    def all_stable(self) -> bool:
+        """True when every managed application reached the stable stage."""
+        return all(
+            s.table.stage is MaturityStage.STABLE for s in self.sessions.values()
+        )
+
+    def export_tables(self) -> dict[str, dict]:
+        """Snapshot of all operating-point tables (wire format)."""
+        return {s.table.app_name: s.table.to_wire() for s in self.sessions.values()}

@@ -1,0 +1,275 @@
+"""Regression models for approximating unmeasured operating points (§5.2).
+
+The paper compares Polynomial Regression of degrees 1–3, a Neural Network,
+and a Support Vector Machine, all predicting utility (IPS) and power from
+the extended resource vector.  HARP ships with the degree-2 polynomial
+model, which converged with only ~20 training points and aligned best with
+the reference Pareto front.
+
+All models are implemented from scratch on numpy (no sklearn available in
+this environment):
+
+* :class:`PolynomialRegression` — ordinary least squares over the monomial
+  expansion of the ERV;
+* :class:`MLPRegressor` — a single-hidden-layer network trained with Adam;
+* :class:`SVRRegressor` — RBF-kernel ridge regression with an
+  ε-insensitive re-weighting pass, a close stand-in for sklearn's SVR
+  (documented substitution, see DESIGN.md §2).
+
+Inputs are standardized internally; every model is deterministic given its
+seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class RegressionModel(ABC):
+    """Common interface: fit on (n, k) ERV arrays, predict one target."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+
+    @abstractmethod
+    def _fit_standardized(self, x: np.ndarray, y: np.ndarray) -> None:
+        ...
+
+    @abstractmethod
+    def _predict_standardized(self, x: np.ndarray) -> np.ndarray:
+        ...
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionModel":
+        """Fit the model; ``x`` is (n, k), ``y`` is (n,)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if y.shape != (len(x),):
+            raise ValueError("y must be 1-D with len(x) entries")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._x_mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0] = 1.0
+        self._x_std = std
+        self._fit_standardized((x - self._x_mean) / self._x_std, y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, k) array."""
+        if self._x_mean is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = self._predict_standardized((x - self._x_mean) / self._x_std)
+        return out[0] if single else out
+
+
+def _monomial_exponents(n_features: int, degree: int) -> list[tuple[int, ...]]:
+    """Exponent tuples of all monomials with total degree 1..degree."""
+    exponents = []
+    for total in range(1, degree + 1):
+        for combo in itertools.combinations_with_replacement(
+            range(n_features), total
+        ):
+            exp = [0] * n_features
+            for idx in combo:
+                exp[idx] += 1
+            exponents.append(tuple(exp))
+    return exponents
+
+
+class PolynomialRegression(RegressionModel):
+    """Least-squares polynomial regression of a given degree (1–3)."""
+
+    def __init__(self, degree: int):
+        super().__init__()
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.name = f"poly{degree}"
+        self._coef: np.ndarray | None = None
+        self._exponents: list[tuple[int, ...]] | None = None
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        if self._exponents is None:
+            self._exponents = _monomial_exponents(x.shape[1], self.degree)
+        cols = [np.ones(len(x))]
+        for exp in self._exponents:
+            col = np.ones(len(x))
+            for j, e in enumerate(exp):
+                if e:
+                    col = col * x[:, j] ** e
+            cols.append(col)
+        return np.column_stack(cols)
+
+    def _fit_standardized(self, x: np.ndarray, y: np.ndarray) -> None:
+        design = self._expand(x)
+        self._coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+
+    def _predict_standardized(self, x: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model is not fitted")
+        return self._expand(x) @ self._coef
+
+
+class MLPRegressor(RegressionModel):
+    """A small fully-connected network (one hidden layer, tanh, Adam)."""
+
+    def __init__(
+        self,
+        hidden: int = 24,
+        epochs: int = 600,
+        lr: float = 0.01,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.name = "nn"
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def _fit_standardized(self, x: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n, k = x.shape
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+
+        w1 = rng.normal(0, 1.0 / np.sqrt(k), (k, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0, 1.0 / np.sqrt(self.hidden), (self.hidden, 1))
+        b2 = np.zeros(1)
+        params = {"w1": w1, "b1": b1, "w2": w2, "b2": b2}
+        moments = {key: (np.zeros_like(val), np.zeros_like(val)) for key, val in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        for step in range(1, self.epochs + 1):
+            hidden_pre = x @ params["w1"] + params["b1"]
+            hidden_act = np.tanh(hidden_pre)
+            pred = (hidden_act @ params["w2"] + params["b2"]).ravel()
+            err = pred - yn
+            grad_pred = (2.0 / n) * err[:, None]
+            grads = {
+                "w2": hidden_act.T @ grad_pred,
+                "b2": grad_pred.sum(axis=0),
+            }
+            grad_hidden = (grad_pred @ params["w2"].T) * (1 - hidden_act**2)
+            grads["w1"] = x.T @ grad_hidden
+            grads["b1"] = grad_hidden.sum(axis=0)
+            for key, grad in grads.items():
+                m, v = moments[key]
+                m[:] = beta1 * m + (1 - beta1) * grad
+                v[:] = beta2 * v + (1 - beta2) * grad**2
+                m_hat = m / (1 - beta1**step)
+                v_hat = v / (1 - beta2**step)
+                params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+        self._params = params
+
+    def _predict_standardized(self, x: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("model is not fitted")
+        p = self._params
+        hidden_act = np.tanh(x @ p["w1"] + p["b1"])
+        pred = (hidden_act @ p["w2"] + p["b2"]).ravel()
+        return pred * self._y_std + self._y_mean
+
+
+class SVRRegressor(RegressionModel):
+    """RBF-kernel support-vector-style regressor.
+
+    Implemented as kernel ridge regression with an ε-insensitive
+    re-weighting pass: samples whose residual falls inside the ε-tube get
+    their weight reduced, approximating the sparse support-vector solution
+    without a QP solver.  Behaviour (smooth interpolation that degrades on
+    extrapolation, which is what Fig. 5 exposes) matches a standard SVR.
+    """
+
+    def __init__(
+        self,
+        gamma: float | None = None,
+        ridge: float = 1e-2,
+        epsilon: float = 0.05,
+        reweight_passes: int = 2,
+    ):
+        super().__init__()
+        self.name = "svm"
+        self.gamma = gamma
+        self.ridge = ridge
+        self.epsilon = epsilon
+        self.reweight_passes = reweight_passes
+        self._x_train: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._gamma_eff = 1.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        return np.exp(-self._gamma_eff * sq)
+
+    def _fit_standardized(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._x_train = x
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+        self._gamma_eff = (
+            self.gamma if self.gamma is not None else 1.0 / max(1, x.shape[1])
+        )
+        gram = self._kernel(x, x)
+        n = len(x)
+        weights = np.ones(n)
+        alpha = None
+        for _ in range(self.reweight_passes + 1):
+            w_mat = np.diag(weights)
+            alpha = np.linalg.solve(
+                w_mat @ gram + self.ridge * np.eye(n), w_mat @ yn
+            )
+            residual = np.abs(gram @ alpha - yn)
+            weights = np.where(residual <= self.epsilon, 0.25, 1.0)
+        self._alpha = alpha
+
+    def _predict_standardized(self, x: np.ndarray) -> np.ndarray:
+        if self._alpha is None or self._x_train is None:
+            raise RuntimeError("model is not fitted")
+        pred = self._kernel(x, self._x_train) @ self._alpha
+        return pred * self._y_std + self._y_mean
+
+
+def make_model(name: str, seed: int = 0) -> RegressionModel:
+    """Factory over the Fig. 5 model families: poly1..poly3, nn, svm."""
+    if name.startswith("poly"):
+        return PolynomialRegression(int(name[4:]))
+    if name == "nn":
+        return MLPRegressor(seed=seed)
+    if name == "svm":
+        return SVRRegressor()
+    raise ValueError(f"unknown regression model {name!r}")
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean Absolute Percentage Error, in percent (Fig. 5 accuracy metric)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    mask = y_true != 0
+    if not mask.any():
+        raise ValueError("MAPE undefined: all true values are zero")
+    return float(
+        100.0
+        * np.mean(np.abs((y_true[mask] - y_pred[mask]) / y_true[mask]))
+    )

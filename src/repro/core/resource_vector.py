@@ -1,0 +1,238 @@
+"""Extended resource vectors (§4.1.2).
+
+A coarse-grained operating point describes its resource requirement with an
+*extended resource vector* (ERV): for each core type, how many cores are
+used at each hardware-thread occupancy level.  The paper's example on
+Raptor Lake — "4 E-cores and 3 P-cores where two P-cores use two hardware
+threads and the third only one" — is the vector [1, 2, 4]ᵀ with components
+(P-cores @1 thread, P-cores @2 threads, E-cores @1 thread).
+
+The component layout is derived from the platform: for each core type in
+platform order, one component per occupancy level 1..smt.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.topology import Platform
+
+
+@dataclass(frozen=True)
+class ErvComponent:
+    """One component of the ERV layout: a (core type, occupancy) pair."""
+
+    core_type: str
+    threads_used: int
+
+
+class ErvLayout:
+    """The component ordering of extended resource vectors on a platform."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.components: tuple[ErvComponent, ...] = tuple(
+            ErvComponent(ct.name, used)
+            for ct in platform.core_types
+            for used in range(1, ct.smt + 1)
+        )
+        self._index = {
+            (c.core_type, c.threads_used): i
+            for i, c in enumerate(self.components)
+        }
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def index_of(self, core_type: str, threads_used: int) -> int:
+        """Component index of the (core type, occupancy) pair."""
+        try:
+            return self._index[(core_type, threads_used)]
+        except KeyError:
+            raise KeyError(
+                f"no ERV component for {core_type}@{threads_used}"
+            ) from None
+
+    def zero(self) -> "ExtendedResourceVector":
+        """The empty allocation."""
+        return ExtendedResourceVector(self, (0,) * len(self.components))
+
+    def make(self, **counts: int) -> "ExtendedResourceVector":
+        """Build an ERV from keyword counts.
+
+        Component keys are ``<type>`` for single-thread occupancy and
+        ``<type><n>`` for n-thread occupancy, e.g. ``make(P1=1, P2=2, E=4)``
+        or ``make(big=2, LITTLE=4)``.
+        """
+        values = [0] * len(self.components)
+        for key, count in counts.items():
+            matched = False
+            for i, comp in enumerate(self.components):
+                names = {comp.core_type + str(comp.threads_used)}
+                if comp.threads_used == 1:
+                    names.add(comp.core_type)
+                if key in names:
+                    values[i] = count
+                    matched = True
+                    break
+            if not matched:
+                raise KeyError(f"unknown ERV component key {key!r}")
+        return ExtendedResourceVector(self, tuple(values))
+
+    def from_counts(self, counts: dict[tuple[str, int], int]) -> "ExtendedResourceVector":
+        """Build an ERV from a {(core_type, threads_used): count} mapping."""
+        values = [0] * len(self.components)
+        for (core_type, used), count in counts.items():
+            values[self.index_of(core_type, used)] = count
+        return ExtendedResourceVector(self, tuple(values))
+
+    def enumerate_all(self, include_empty: bool = False) -> list["ExtendedResourceVector"]:
+        """Enumerate every feasible ERV on the platform.
+
+        Feasibility: for each core type, the summed core count across its
+        occupancy components must not exceed the number of cores of that
+        type.  This is the coarse-grained configuration space that HARP's
+        runtime exploration searches.
+        """
+        per_type_choices: list[list[tuple[int, ...]]] = []
+        for ct in self.platform.core_types:
+            capacity = self.platform.count_of_type(ct.name)
+            levels = ct.smt
+            choices = [
+                combo
+                for combo in itertools.product(
+                    range(capacity + 1), repeat=levels
+                )
+                if sum(combo) <= capacity
+            ]
+            per_type_choices.append(choices)
+        vectors = []
+        for parts in itertools.product(*per_type_choices):
+            flat = tuple(itertools.chain.from_iterable(parts))
+            if not include_empty and sum(flat) == 0:
+                continue
+            vectors.append(ExtendedResourceVector(self, flat))
+        return vectors
+
+
+class ExtendedResourceVector:
+    """An immutable ERV bound to a layout."""
+
+    __slots__ = ("layout", "counts", "_hash")
+
+    def __init__(self, layout: ErvLayout, counts: tuple[int, ...]):
+        if len(counts) != len(layout):
+            raise ValueError(
+                f"expected {len(layout)} components, got {len(counts)}"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError("ERV counts must be non-negative")
+        self.layout = layout
+        self.counts = tuple(int(c) for c in counts)
+        self._hash = hash(self.counts)
+
+    # -- derived quantities --------------------------------------------------
+
+    def cores_of_type(self, core_type: str) -> int:
+        """Number of physical cores of ``core_type`` this ERV occupies."""
+        return sum(
+            count
+            for comp, count in zip(self.layout.components, self.counts)
+            if comp.core_type == core_type
+        )
+
+    def core_vector(self) -> list[int]:
+        """Cores used per type, in platform type order (MMKP resource vector)."""
+        return [
+            self.cores_of_type(ct.name)
+            for ct in self.layout.platform.core_types
+        ]
+
+    def total_cores(self) -> int:
+        """Total physical cores this ERV occupies (all types)."""
+        return sum(self.counts)
+
+    def total_threads(self) -> int:
+        """Total hardware threads, i.e. the natural parallelization degree."""
+        return sum(
+            comp.threads_used * count
+            for comp, count in zip(self.layout.components, self.counts)
+        )
+
+    def is_empty(self) -> bool:
+        """True for the zero allocation."""
+        return self.total_cores() == 0
+
+    def fits(self, capacity: list[int] | None = None) -> bool:
+        """Whether the ERV fits within the platform (or given) capacity."""
+        if capacity is None:
+            capacity = self.layout.platform.capacity_vector()
+        return all(
+            used <= cap for used, cap in zip(self.core_vector(), capacity)
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Dense numpy representation (regression-model feature vector)."""
+        return np.asarray(self.counts, dtype=float)
+
+    def distance(self, other: "ExtendedResourceVector") -> float:
+        """Euclidean distance in ERV space (furthest-point exploration)."""
+        self._check_layout(other)
+        return float(np.linalg.norm(self.as_array() - other.as_array()))
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "ExtendedResourceVector") -> "ExtendedResourceVector":
+        self._check_layout(other)
+        return ExtendedResourceVector(
+            self.layout,
+            tuple(a + b for a, b in zip(self.counts, other.counts)),
+        )
+
+    def __sub__(self, other: "ExtendedResourceVector") -> "ExtendedResourceVector":
+        self._check_layout(other)
+        return ExtendedResourceVector(
+            self.layout,
+            tuple(a - b for a, b in zip(self.counts, other.counts)),
+        )
+
+    def _check_layout(self, other: "ExtendedResourceVector") -> None:
+        if other.layout is not self.layout and (
+            other.layout.components != self.layout.components
+        ):
+            raise ValueError("ERVs belong to different layouts")
+
+    # -- protocol ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtendedResourceVector)
+            and self.counts == other.counts
+            and self.layout.components == other.layout.components
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{comp.core_type}@{comp.threads_used}={count}"
+            for comp, count in zip(self.layout.components, self.counts)
+            if count
+        ]
+        return f"ERV({', '.join(parts) or 'empty'})"
+
+    def describe(self) -> str:
+        """Human-readable description of the occupied resources."""
+        return repr(self)
+
+    def to_wire(self) -> list[int]:
+        """Plain-list encoding for the IPC layer."""
+        return list(self.counts)
+
+    @classmethod
+    def from_wire(cls, layout: ErvLayout, counts: list[int]) -> "ExtendedResourceVector":
+        return cls(layout, tuple(counts))

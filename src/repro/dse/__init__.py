@@ -1,0 +1,23 @@
+"""Offline design-space exploration (§3.2.1, §6.3 "HARP (Offline)")."""
+
+from repro.dse.explorer import (
+    DseResult,
+    enumerate_erv_grid,
+    explore_application,
+    measure_full_run,
+    measure_operating_point,
+)
+from repro.dse.tables import (
+    load_application_profile,
+    save_application_profile,
+)
+
+__all__ = [
+    "DseResult",
+    "enumerate_erv_grid",
+    "explore_application",
+    "measure_operating_point",
+    "measure_full_run",
+    "load_application_profile",
+    "save_application_profile",
+]

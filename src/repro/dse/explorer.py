@@ -1,0 +1,290 @@
+"""Design-time exploration of operating points.
+
+Runs an application alone on each candidate configuration (extended
+resource vector) and records the non-functional characteristics the
+HARP RM consumes: instant utility and attributed power, plus — for the
+Fig. 1 style analyses — full-run execution time and energy.
+
+This is the paper's "sophisticated offline analysis" path: the resulting
+application profiles ship in description files which libharp forwards to
+the RM at registration (the *HARP (Offline)* configuration of §6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.base import ApplicationModel
+from repro.core.energy import EnergyAttributor
+from repro.core.operating_point import OperatingPoint, OperatingPointTable
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.platform.dvfs import make_governor
+from repro.platform.topology import Platform
+from repro.sim.engine import World
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+
+@dataclass
+class MeasuredPoint:
+    """Offline measurement of one configuration."""
+
+    erv: ExtendedResourceVector
+    utility: float
+    power_w: float
+    exec_time_s: float | None = None
+    energy_j: float | None = None
+    knobs: dict = field(default_factory=dict)
+
+
+@dataclass
+class DseResult:
+    """The outcome of exploring one application."""
+
+    app_name: str
+    points: list[MeasuredPoint] = field(default_factory=list)
+
+    def to_table(self, layout: ErvLayout) -> OperatingPointTable:
+        """Convert to an RM-ready operating-point table."""
+        return OperatingPointTable.from_points(
+            self.app_name, layout, self.to_table_points()
+        )
+
+    def to_wire_points(self) -> list[dict]:
+        """Description-file payload for libharp registration."""
+        return [p.to_wire() for p in self.to_table_points()]
+
+    def to_table_points(self) -> list[OperatingPoint]:
+        return [
+            OperatingPoint(
+                erv=mp.erv,
+                utility=mp.utility,
+                power=mp.power_w,
+                knobs=dict(mp.knobs),
+                measured=True,
+                samples=1,
+            )
+            for mp in self.points
+        ]
+
+
+def _placement_for(
+    platform: Platform, erv: ExtendedResourceVector
+) -> frozenset[int]:
+    """First-fit placement of an ERV on an otherwise idle machine."""
+    free = {
+        ct.name: list(platform.cores_of_type(ct.name))
+        for ct in platform.core_types
+    }
+    hw_ids: list[int] = []
+    for comp, count in zip(erv.layout.components, erv.counts):
+        pool = free[comp.core_type]
+        if count > len(pool):
+            raise ValueError(f"{erv} does not fit on {platform.name}")
+        for _ in range(count):
+            core = pool.pop(0)
+            hw_ids.extend(t.thread_id for t in core.hw_threads[: comp.threads_used])
+    return frozenset(hw_ids)
+
+
+def _spawn_configured(world: World, model, platform: Platform, erv):
+    """Spawn an application configured for ``erv`` exactly as libharp would.
+
+    DSE measures *configuration variants*, so the probe must apply the same
+    adaptation the RM's activation would trigger: affinity to the placed
+    hardware threads plus the runtime-specific degree adjustment (OpenMP
+    team sizing, KPN topology reshaping, nothing for static applications).
+    """
+    from repro.libharp.adaptivity import SimProcessAdapter
+
+    affinity = _placement_for(platform, erv)
+    process = world.spawn(model, managed=True)
+    adapter = SimProcessAdapter(process)
+    adapter.apply_allocation(
+        degree=max(1, erv.total_threads()),
+        knobs={},
+        hw_threads=sorted(affinity),
+    )
+    return process
+
+
+def measure_operating_point(
+    model_factory: Callable[[], ApplicationModel],
+    platform: Platform,
+    erv: ExtendedResourceVector,
+    probe_s: float = 1.0,
+    governor: str = "performance",
+    seed: int = 0,
+    sensor_noise: float = 0.01,
+    perf_noise: float = 0.02,
+    freq_scale: float = 1.0,
+) -> MeasuredPoint:
+    """Probe a configuration: run briefly, return instant utility/power.
+
+    Utility follows the paper's convention: the application-specific rate
+    when the model provides one, IPS otherwise.  Probes carry realistic
+    sensor/counter noise by default; pass zero for exact measurements.
+    With ``freq_scale`` < 1, the allocation's cores are frequency-capped
+    during the probe and the resulting point records the scale in its
+    knob payload (the repro.ext.dvfs extension).
+    """
+    model = model_factory()
+    base_governor = make_governor(governor, platform)
+    if freq_scale < 1.0:
+        from repro.ext.dvfs import FREQ_SCALE_KNOB, CappedGovernor
+
+        capped = CappedGovernor(base_governor)
+        core_ids = {
+            t.core_id
+            for t in platform.hw_threads
+            if t.thread_id in _placement_for(platform, erv)
+        }
+        for core_id in core_ids:
+            capped.set_cap(core_id, freq_scale)
+        base_governor = capped
+    world = World(
+        platform,
+        PinnedScheduler(),
+        governor=base_governor,
+        seed=seed,
+        sensor_noise=sensor_noise,
+        perf_noise=perf_noise,
+    )
+    process = _spawn_configured(world, model, platform, erv)
+    attributor = EnergyAttributor(platform)
+    start_energy = world.total_energy_j()
+    start_busy = dict(world.busy_time_by_type_s)
+    world.run_for(probe_s)
+    interval = world.time_s
+    energy_delta = world.total_energy_j() - start_energy
+    busy_delta = {
+        name: world.busy_time_by_type_s[name] - start_busy.get(name, 0.0)
+        for name in world.busy_time_by_type_s
+    }
+    samples = attributor.attribute(
+        energy_delta,
+        interval,
+        busy_delta,
+        {process.pid: dict(process.cpu_time_by_type)},
+    )
+    power = samples[process.pid].power_w
+    if model.provides_utility:
+        utility = process.work_done / interval
+    else:
+        utility = world.perf.noisy_rate(
+            world.perf.read_instructions(process.pid) / interval
+        )
+    knobs = {}
+    if freq_scale < 1.0:
+        from repro.ext.dvfs import FREQ_SCALE_KNOB
+
+        knobs[FREQ_SCALE_KNOB] = freq_scale
+    return MeasuredPoint(erv=erv, utility=utility, power_w=power, knobs=knobs)
+
+
+def measure_full_run(
+    model_factory: Callable[[], ApplicationModel],
+    platform: Platform,
+    erv: ExtendedResourceVector,
+    governor: str = "performance",
+    seed: int = 0,
+    max_seconds: float = 3600.0,
+) -> MeasuredPoint:
+    """Run a configuration to completion: execution time and total energy.
+
+    This is the measurement behind Fig. 1's configuration-space plots.
+    """
+    model = model_factory()
+    world = World(
+        platform,
+        PinnedScheduler(),
+        governor=make_governor(governor, platform),
+        seed=seed,
+        sensor_noise=0.0,
+        perf_noise=0.0,
+    )
+    process = _spawn_configured(world, model, platform, erv)
+    makespan = world.run_until_all_finished(max_seconds=max_seconds)
+    energy = world.total_energy_j()
+    utility = model.total_work / makespan if makespan > 0 else 0.0
+    avg_power = energy / makespan if makespan > 0 else 0.0
+    return MeasuredPoint(
+        erv=erv,
+        utility=utility,
+        power_w=avg_power,
+        exec_time_s=makespan,
+        energy_j=energy,
+    )
+
+
+def enumerate_erv_grid(
+    layout: ErvLayout,
+    steps: dict[str, list[int]] | None = None,
+    max_points: int | None = None,
+) -> list[ExtendedResourceVector]:
+    """A sub-sampled grid over the coarse-grained configuration space.
+
+    Args:
+        layout: the platform's ERV layout.
+        steps: per-component-key count lists (keys as in
+            :meth:`ErvLayout.make`, e.g. ``{"P1": [0, 2], "P2": [0, 4, 8],
+            "E": [0, 8, 16]}``).  Defaults to an even spread per
+            component.
+        max_points: optional cap (deterministic decimation).
+    """
+    platform = layout.platform
+    per_component: list[list[int]] = []
+    for comp in layout.components:
+        capacity = platform.count_of_type(comp.core_type)
+        key = comp.core_type + (
+            str(comp.threads_used) if comp.threads_used > 1 or any(
+                c.core_type == comp.core_type and c.threads_used > 1
+                for c in layout.components
+            ) else ""
+        )
+        chosen = None
+        if steps:
+            chosen = steps.get(key) or steps.get(comp.core_type)
+        if chosen is None:
+            if capacity <= 4:
+                chosen = list(range(capacity + 1))
+            else:
+                stride = max(1, capacity // 4)
+                chosen = sorted({0, *range(stride, capacity + 1, stride), capacity})
+        per_component.append([c for c in chosen if 0 <= c <= capacity])
+
+    vectors = []
+    for combo in itertools.product(*per_component):
+        erv = ExtendedResourceVector(layout, tuple(combo))
+        if erv.is_empty() or not erv.fits():
+            continue
+        vectors.append(erv)
+    if max_points is not None and len(vectors) > max_points:
+        stride = len(vectors) / max_points
+        vectors = [vectors[int(i * stride)] for i in range(max_points)]
+    return vectors
+
+
+def explore_application(
+    model_factory: Callable[[], ApplicationModel],
+    platform: Platform,
+    grid: list[ExtendedResourceVector] | None = None,
+    probe_s: float = 1.0,
+    governor: str = "performance",
+    seed: int = 0,
+) -> DseResult:
+    """Full offline DSE of one application over a configuration grid."""
+    layout = ErvLayout(platform)
+    if grid is None:
+        grid = enumerate_erv_grid(layout)
+    model = model_factory()
+    result = DseResult(app_name=model.name)
+    for erv in grid:
+        result.points.append(
+            measure_operating_point(
+                model_factory, platform, erv, probe_s=probe_s,
+                governor=governor, seed=seed,
+            )
+        )
+    return result

@@ -1,0 +1,45 @@
+"""Application profile (description file) I/O.
+
+HARP's deployment model (§4.3) bundles operating-point profiles with
+applications and stores them under a configuration directory such as
+``/etc/harp``.  Profiles are JSON documents containing the application
+name, the platform they were measured on, and the operating points in
+wire format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.operating_point import OperatingPointTable
+from repro.core.resource_vector import ErvLayout
+
+PROFILE_SCHEMA_VERSION = 1
+
+
+def save_application_profile(
+    table: OperatingPointTable,
+    path: str | Path,
+    platform_name: str = "",
+) -> None:
+    """Write an application's operating-point profile to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "platform": platform_name,
+        "table": table.to_wire(),
+    }
+    path.write_text(json.dumps(document, indent=2))
+
+
+def load_application_profile(
+    path: str | Path, layout: ErvLayout
+) -> OperatingPointTable:
+    """Load an application profile saved by :func:`save_application_profile`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported profile schema {version}")
+    return OperatingPointTable.from_wire(layout, document["table"])

@@ -1,0 +1,29 @@
+"""Extensions beyond the paper's evaluated system (§7 outlook).
+
+The paper names three future directions; two are implemented here as
+opt-in extensions that reuse the unchanged core machinery:
+
+* :mod:`repro.ext.dvfs` — frequency-scaling control integrated into the
+  allocation: operating points gain a per-allocation frequency cap, so
+  the RM can trade clock speed for energy on top of core placement.
+* :mod:`repro.ext.phases` — detection of distinct execution stages from
+  the monitoring stream, re-triggering exploration when an application's
+  behaviour shifts (no explicit application input required).
+"""
+
+from repro.ext.dvfs import (
+    CappedGovernor,
+    DvfsAwareManager,
+    FREQ_SCALE_KNOB,
+    explore_application_dvfs,
+)
+from repro.ext.phases import PhaseChangeDetector, PhasedApplicationModel
+
+__all__ = [
+    "CappedGovernor",
+    "DvfsAwareManager",
+    "FREQ_SCALE_KNOB",
+    "explore_application_dvfs",
+    "PhaseChangeDetector",
+    "PhasedApplicationModel",
+]

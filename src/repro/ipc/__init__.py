@@ -1,0 +1,49 @@
+"""Communication substrate between libharp and the HARP RM.
+
+The paper exchanges protobuf messages over Unix sockets (§4.1.1).  We keep
+the exact message types and control flow of Fig. 3 but encode frames as
+length-prefixed JSON — protobuf is an encoding detail, not part of the
+contribution.  Two transports implement the same protocol:
+
+* :class:`~repro.ipc.server.HarpSocketServer` /
+  :class:`~repro.ipc.client.HarpSocketClient` — real ``AF_UNIX`` sockets,
+  used by the daemon example and integration tests;
+* :class:`~repro.ipc.client.InProcessTransport` — a deterministic
+  in-process channel used by the simulation harness.
+"""
+
+from repro.ipc.messages import (
+    Ack,
+    ActivateOperatingPoint,
+    DeregisterRequest,
+    Message,
+    OperatingPointsMessage,
+    RegisterReply,
+    RegisterRequest,
+    UtilityReply,
+    UtilityRequest,
+    decode_message,
+    encode_message,
+)
+from repro.ipc.protocol import FrameCodec, ProtocolError
+from repro.ipc.client import HarpSocketClient, InProcessTransport
+from repro.ipc.server import HarpSocketServer
+
+__all__ = [
+    "Ack",
+    "ActivateOperatingPoint",
+    "DeregisterRequest",
+    "Message",
+    "OperatingPointsMessage",
+    "RegisterReply",
+    "RegisterRequest",
+    "UtilityReply",
+    "UtilityRequest",
+    "decode_message",
+    "encode_message",
+    "FrameCodec",
+    "ProtocolError",
+    "HarpSocketClient",
+    "HarpSocketServer",
+    "InProcessTransport",
+]

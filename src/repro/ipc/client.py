@@ -1,0 +1,143 @@
+"""Application-side transports.
+
+``HarpSocketClient`` is the real thing: a request connection to the RM's
+Unix socket plus a dedicated listening push socket, per §4.1.1.
+``InProcessTransport`` implements the same interface synchronously for the
+deterministic simulation harness, where the RM and all applications live
+in one process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import threading
+from typing import Callable
+
+from repro.ipc.messages import Ack, Message
+from repro.ipc.protocol import ProtocolError, recv_message, send_message
+
+PushHandler = Callable[[Message], Message | None]
+
+
+class Transport:
+    """Interface libharp uses to talk to the RM."""
+
+    def request(self, message: Message) -> Message:
+        """Send a request and wait for the reply."""
+        raise NotImplementedError
+
+    def set_push_handler(self, handler: PushHandler) -> None:
+        """Install the callback invoked for RM push messages."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources."""
+
+
+class HarpSocketClient(Transport):
+    """Unix-socket transport with a dedicated push listener."""
+
+    def __init__(self, rm_socket_path: str, push_socket_path: str):
+        self.rm_socket_path = rm_socket_path
+        self.push_socket_path = push_socket_path
+        self._push_handler: PushHandler | None = None
+        self._request_lock = threading.Lock()
+
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(push_socket_path)
+        self._push_listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._push_listener.bind(push_socket_path)
+        self._push_listener.listen(1)
+        self._push_thread = threading.Thread(
+            target=self._push_loop, name="libharp-push", daemon=True
+        )
+        self._stopping = threading.Event()
+        self._push_thread.start()
+
+        self._request_sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._request_sock.connect(rm_socket_path)
+
+    def request(self, message: Message) -> Message:
+        with self._request_lock:
+            send_message(self._request_sock, message)
+            reply = recv_message(self._request_sock)
+        if reply is None:
+            raise ProtocolError("RM closed the connection")
+        return reply
+
+    def set_push_handler(self, handler: PushHandler) -> None:
+        self._push_handler = handler
+
+    def close(self) -> None:
+        self._stopping.set()
+        with contextlib.suppress(OSError):
+            self._request_sock.close()
+        with contextlib.suppress(OSError):
+            self._push_listener.shutdown(socket.SHUT_RDWR)
+        self._push_listener.close()
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.push_socket_path)
+        self._push_thread.join(timeout=2.0)
+
+    def _push_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._push_listener.accept()
+            except OSError:
+                return
+            with conn:
+                while not self._stopping.is_set():
+                    try:
+                        message = recv_message(conn)
+                    except (ProtocolError, OSError):
+                        break
+                    if message is None:
+                        break
+                    handler = self._push_handler
+                    reply: Message | None = Ack(ok=True)
+                    if handler is not None:
+                        try:
+                            result = handler(message)
+                        except Exception as exc:
+                            reply = Ack(ok=False, error=str(exc))
+                        else:
+                            if result is not None:
+                                reply = result
+                    try:
+                        send_message(conn, reply)
+                    except OSError:
+                        break
+
+
+class InProcessTransport(Transport):
+    """Synchronous in-process channel for the simulation harness.
+
+    The RM side installs a request handler; pushes invoke the libharp
+    handler directly.  No threads, no sockets — fully deterministic.
+    """
+
+    def __init__(self, rm_handler: Callable[[Message], Message]):
+        self._rm_handler = rm_handler
+        self._push_handler: PushHandler | None = None
+        self._closed = False
+
+    def request(self, message: Message) -> Message:
+        if self._closed:
+            raise ProtocolError("transport closed")
+        return self._rm_handler(message)
+
+    def set_push_handler(self, handler: PushHandler) -> None:
+        self._push_handler = handler
+
+    def push(self, message: Message) -> Message | None:
+        """RM side: deliver a push message to the application."""
+        if self._closed:
+            raise ProtocolError("transport closed")
+        if self._push_handler is None:
+            return Ack(ok=False, error="no push handler installed")
+        return self._push_handler(message)
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,163 @@
+"""Message types of the libharp ↔ HARP RM protocol (Fig. 3).
+
+Every message is a frozen dataclass with a ``TYPE`` tag; the codec maps
+dataclasses to JSON dictionaries and back.  The set mirrors the paper's
+control flow:
+
+1. ``RegisterRequest`` / ``RegisterReply`` — application registration with
+   PID, allocation granularity and adaptivity capabilities.
+2. ``OperatingPointsMessage`` — operating points from the application
+   description file, plus the utility-subscription flag.
+3. ``ActivateOperatingPoint`` — RM → application push: selected ERV, the
+   derived parallelization degree, the opaque knob payload, and the
+   concrete hardware threads of the allocation.
+4. ``UtilityRequest`` / ``UtilityReply`` — periodic utility feedback.
+5. ``DeregisterRequest`` — graceful exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+class ProtocolViolation(ValueError):
+    """A structurally invalid or unknown message."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; subclasses define a unique ``TYPE`` tag."""
+
+    TYPE = "message"
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["type"] = self.TYPE
+        return data
+
+
+@dataclass(frozen=True)
+class RegisterRequest(Message):
+    """Application → RM: initial registration (§4.1.1 step 1)."""
+
+    TYPE = "register"
+
+    pid: int
+    app_name: str
+    granularity: str = "coarse"  # "coarse" | "fine"
+    adaptivity: str = "static"  # "static" | "scalable" | "custom"
+    provides_utility: bool = False
+    push_socket: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("coarse", "fine"):
+            raise ProtocolViolation(f"bad granularity {self.granularity!r}")
+        if self.adaptivity not in ("static", "scalable", "custom"):
+            raise ProtocolViolation(f"bad adaptivity {self.adaptivity!r}")
+
+
+@dataclass(frozen=True)
+class RegisterReply(Message):
+    """RM → application: registration outcome."""
+
+    TYPE = "register_reply"
+
+    ok: bool
+    session_id: int = 0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class OperatingPointsMessage(Message):
+    """Application → RM: points from the description file (step 2)."""
+
+    TYPE = "operating_points"
+
+    pid: int
+    points: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ActivateOperatingPoint(Message):
+    """RM → application: allocation decision push (step 3)."""
+
+    TYPE = "activate"
+
+    pid: int
+    erv: list = field(default_factory=list)
+    degree: int = 1
+    knobs: dict = field(default_factory=dict)
+    hw_threads: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class UtilityRequest(Message):
+    """RM → application: utility poll (step 4)."""
+
+    TYPE = "utility_request"
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class UtilityReply(Message):
+    """Application → RM: current application-specific utility."""
+
+    TYPE = "utility_reply"
+
+    pid: int
+    utility: float | None = None
+
+
+@dataclass(frozen=True)
+class DeregisterRequest(Message):
+    """Application → RM: graceful shutdown."""
+
+    TYPE = "deregister"
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """Generic acknowledgement."""
+
+    TYPE = "ack"
+
+    ok: bool = True
+    error: str | None = None
+
+
+_MESSAGE_TYPES: dict[str, type[Message]] = {
+    cls.TYPE: cls
+    for cls in (
+        RegisterRequest,
+        RegisterReply,
+        OperatingPointsMessage,
+        ActivateOperatingPoint,
+        UtilityRequest,
+        UtilityReply,
+        DeregisterRequest,
+        Ack,
+    )
+}
+
+
+def encode_message(message: Message) -> dict:
+    """Message → JSON-compatible dictionary."""
+    return message.to_dict()
+
+
+def decode_message(data: dict) -> Message:
+    """JSON dictionary → typed message; raises ProtocolViolation on junk."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise ProtocolViolation("message without a type tag")
+    tag = data["type"]
+    cls = _MESSAGE_TYPES.get(tag)
+    if cls is None:
+        raise ProtocolViolation(f"unknown message type {tag!r}")
+    payload = {k: v for k, v in data.items() if k != "type"}
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ProtocolViolation(f"malformed {tag} message: {exc}") from exc

@@ -1,0 +1,77 @@
+"""Wire framing: 4-byte big-endian length prefix + UTF-8 JSON body."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.ipc.messages import (
+    Message,
+    ProtocolViolation,
+    decode_message,
+    encode_message,
+)
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Framing-level failure (truncated stream, oversized frame, bad JSON)."""
+
+
+class FrameCodec:
+    """Encodes messages to frames and decodes a byte stream back."""
+
+    @staticmethod
+    def encode(message: Message) -> bytes:
+        body = json.dumps(encode_message(message)).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame too large: {len(body)} bytes")
+        return _HEADER.pack(len(body)) + body
+
+    @staticmethod
+    def decode(frame: bytes) -> Message:
+        try:
+            data = json.loads(frame.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable frame: {exc}") from exc
+        try:
+            return decode_message(data)
+        except ProtocolViolation as exc:
+            raise ProtocolError(str(exc)) from exc
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    """Write one framed message to a connected socket."""
+    sock.sendall(FrameCodec.encode(message))
+
+
+def recv_message(sock: socket.socket) -> Message | None:
+    """Read one framed message; None on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {length} bytes")
+    body = _recv_exact(sock, length, allow_eof=False)
+    assert body is not None
+    return FrameCodec.decode(body)
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,148 @@
+"""Unix-socket endpoint of the HARP resource manager.
+
+A threaded ``AF_UNIX`` server: each application connection is served by a
+dedicated thread that decodes frames and dispatches them to a handler
+callback, which returns the reply message.  Push messages (allocation
+activations, utility polls) are delivered over the application's dedicated
+push socket, exactly as described in §4.1.1.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import threading
+from typing import Callable
+
+from repro.ipc.messages import Ack, Message
+from repro.ipc.protocol import ProtocolError, recv_message, send_message
+
+Handler = Callable[[Message], Message | None]
+
+
+class HarpSocketServer:
+    """The RM's request socket plus per-application push connections."""
+
+    def __init__(self, socket_path: str, handler: Handler):
+        self.socket_path = socket_path
+        self.handler = handler
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._push_sockets: dict[int, socket.socket] = {}
+        self._push_lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen, and accept in a background thread."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.socket_path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(32)
+        self._listener = listener
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="harp-rm-accept", daemon=True
+        )
+        accept_thread.start()
+        self._threads.append(accept_thread)
+
+    def stop(self) -> None:
+        """Shut down the listener and all connections."""
+        self._stopping.set()
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.shutdown(socket.SHUT_RDWR)
+            self._listener.close()
+            self._listener = None
+        with self._push_lock:
+            for sock in self._push_sockets.values():
+                with contextlib.suppress(OSError):
+                    sock.close()
+            self._push_sockets.clear()
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.socket_path)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "HarpSocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- push channel ----------------------------------------------------------------
+
+    def open_push_channel(self, pid: int, push_socket_path: str) -> None:
+        """Connect to an application's dedicated push socket."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(push_socket_path)
+        with self._push_lock:
+            old = self._push_sockets.pop(pid, None)
+            if old is not None:
+                with contextlib.suppress(OSError):
+                    old.close()
+            self._push_sockets[pid] = sock
+
+    def push(self, pid: int, message: Message) -> bool:
+        """Send a push message to an application; False if unreachable."""
+        with self._push_lock:
+            sock = self._push_sockets.get(pid)
+        if sock is None:
+            return False
+        try:
+            send_message(sock, message)
+            return True
+        except OSError:
+            self.close_push_channel(pid)
+            return False
+
+    def close_push_channel(self, pid: int) -> None:
+        with self._push_lock:
+            sock = self._push_sockets.pop(pid, None)
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="harp-rm-conn",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stopping.is_set():
+                try:
+                    message = recv_message(conn)
+                except (ProtocolError, OSError):
+                    return
+                if message is None:
+                    return
+                try:
+                    reply = self.handler(message)
+                except Exception as exc:  # handler bug must not kill the RM
+                    reply = Ack(ok=False, error=f"handler error: {exc}")
+                if reply is not None:
+                    try:
+                        send_message(conn, reply)
+                    except OSError:
+                        return

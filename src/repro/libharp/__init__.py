@@ -1,0 +1,25 @@
+"""libharp: the application-side half of HARP (§4.1).
+
+Registers applications with the RM, receives allocation pushes, adapts the
+application (affinity, parallelization degree, custom knobs), and answers
+utility polls.  Adapters implement the three adaptivity classes of the
+paper — static, scalable, custom — and the hook layer reproduces how the
+real library intercepts OpenMP/TBB runtime internals.
+"""
+
+from repro.libharp.adaptivity import (
+    AdaptationMode,
+    ApplicationAdapter,
+    SimProcessAdapter,
+)
+from repro.libharp.client import LibHarpClient
+from repro.libharp.hooks import RuntimeHooks, detect_runtime
+
+__all__ = [
+    "AdaptationMode",
+    "ApplicationAdapter",
+    "SimProcessAdapter",
+    "LibHarpClient",
+    "RuntimeHooks",
+    "detect_runtime",
+]

@@ -1,0 +1,173 @@
+"""Application adapters: how libharp applies an allocation (§4.1.3).
+
+``ApplicationAdapter`` is the interface the libharp client drives;
+``SimProcessAdapter`` implements it against a simulated process:
+
+* **static** applications only get their affinity mask updated — their
+  thread count is fixed, so over-allocation leads to time-sharing;
+* **scalable** applications additionally have their parallelization degree
+  matched to the hardware threads of the ERV via the runtime hooks;
+* **custom** applications receive the opaque knob payload and invoke any
+  registered reconfiguration callbacks (the KPN replica knob, algorithm
+  switches, ...).
+
+``AdaptationMode`` reproduces the paper's ablation variants: FULL is
+normal operation, AFFINITY_ONLY is *HARP (No Scaling)* (allocations are
+enforced but the application does not adapt), and IGNORE is the §6.6
+overhead setup where activation messages are dropped entirely and the
+application remains scheduled like the baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.apps.base import AdaptivityType
+from repro.apps.kpn import KpnApplicationModel
+from repro.libharp.hooks import detect_runtime
+from repro.sim.process import SimProcess
+
+
+class AdaptationMode(enum.Enum):
+    """What the adapter does with activation messages."""
+
+    FULL = "full"
+    AFFINITY_ONLY = "affinity-only"
+    IGNORE = "ignore"
+
+
+KnobCallback = Callable[[dict, list[int]], None]
+
+
+class ApplicationAdapter(ABC):
+    """The libharp-internal surface that applies RM decisions."""
+
+    @property
+    @abstractmethod
+    def pid(self) -> int:
+        ...
+
+    @property
+    @abstractmethod
+    def app_name(self) -> str:
+        ...
+
+    @property
+    @abstractmethod
+    def adaptivity(self) -> AdaptivityType:
+        ...
+
+    @property
+    @abstractmethod
+    def provides_utility(self) -> bool:
+        ...
+
+    @abstractmethod
+    def apply_allocation(
+        self, degree: int, knobs: dict, hw_threads: list[int]
+    ) -> None:
+        """Reconfigure the application for a new allocation."""
+
+    @abstractmethod
+    def current_utility(self) -> float | None:
+        """Application-specific utility (None = not supported)."""
+
+
+class SimProcessAdapter(ApplicationAdapter):
+    """Adapter bound to a simulated process."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        mode: AdaptationMode = AdaptationMode.FULL,
+        clock: Callable[[], float] | None = None,
+    ):
+        self._process = process
+        self._mode = mode
+        self._hooks = detect_runtime(process.model.runtime_lib)
+        self._user_threads = process.nthreads
+        self._custom_callbacks: list[KnobCallback] = []
+        self._clock = clock
+        self._last_work = 0.0
+        self._last_time: float | None = None
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self._process.pid
+
+    @property
+    def app_name(self) -> str:
+        return self._process.model.name
+
+    @property
+    def adaptivity(self) -> AdaptivityType:
+        return self._process.model.adaptivity
+
+    @property
+    def provides_utility(self) -> bool:
+        return self._process.model.provides_utility
+
+    @property
+    def process(self) -> SimProcess:
+        return self._process
+
+    def register_callback(self, callback: KnobCallback) -> None:
+        """Custom applications register reconfiguration callbacks (§4.1.4)."""
+        self._custom_callbacks.append(callback)
+
+    # -- adaptation ------------------------------------------------------------------
+
+    def apply_allocation(
+        self, degree: int, knobs: dict, hw_threads: list[int]
+    ) -> None:
+        if self._mode is AdaptationMode.IGNORE:
+            return
+        if hw_threads:
+            self._process.set_affinity(frozenset(hw_threads))
+        else:
+            self._process.set_affinity(None)
+        if self._mode is AdaptationMode.AFFINITY_ONLY:
+            return
+
+        model = self._process.model
+        if self.adaptivity is AdaptivityType.STATIC:
+            return
+        if isinstance(model, KpnApplicationModel):
+            payload = knobs or model.replicas_knob_for(degree)
+            self._process.knobs.update(payload)
+            self._process.set_nthreads(model.topology_size(self._process))
+        elif self.adaptivity is AdaptivityType.CUSTOM and self._custom_callbacks:
+            for callback in self._custom_callbacks:
+                callback(knobs, hw_threads)
+            self._process.set_nthreads(
+                self._hooks.resolve_degree(self._user_threads, degree)
+            )
+        else:
+            new_threads = self._hooks.resolve_degree(self._user_threads, degree)
+            self._process.set_nthreads(new_threads)
+            if knobs:
+                self._process.knobs.update(knobs)
+
+    # -- utility feedback ---------------------------------------------------------------
+
+    def current_utility(self) -> float | None:
+        """Application-specific throughput (work/s) since the last poll.
+
+        Returns None when the application does not expose its own metric
+        (the RM then falls back to IPS, §5.1) or when no interval has
+        elapsed yet.
+        """
+        if not self.provides_utility or self._clock is None:
+            return None
+        now = self._clock()
+        now_work = self._process.work_done
+        utility = None
+        if self._last_time is not None and now > self._last_time:
+            utility = max(0.0, (now_work - self._last_work) / (now - self._last_time))
+        self._last_time = now
+        self._last_work = now_work
+        return utility

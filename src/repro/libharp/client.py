@@ -1,0 +1,99 @@
+"""The libharp client: the application's end of the Fig. 3 control flow.
+
+1. On startup, register with the RM (PID, granularity, adaptivity type,
+   utility capability).
+2. Send operating points from the application description file, if any.
+3. Handle activation pushes by applying the allocation through the
+   application adapter.
+4. Answer utility polls with the application-specific metric.
+"""
+
+from __future__ import annotations
+
+from repro.ipc.client import Transport
+from repro.ipc.messages import (
+    Ack,
+    ActivateOperatingPoint,
+    DeregisterRequest,
+    Message,
+    OperatingPointsMessage,
+    RegisterReply,
+    RegisterRequest,
+    UtilityReply,
+    UtilityRequest,
+)
+from repro.libharp.adaptivity import ApplicationAdapter
+
+
+class RegistrationError(RuntimeError):
+    """The RM rejected or failed the registration handshake."""
+
+
+class LibHarpClient:
+    """Drives one application's interaction with the HARP RM."""
+
+    def __init__(
+        self,
+        adapter: ApplicationAdapter,
+        transport: Transport,
+        description_points: list[dict] | None = None,
+        granularity: str = "coarse",
+    ):
+        self.adapter = adapter
+        self.transport = transport
+        self.description_points = list(description_points or [])
+        self.granularity = granularity
+        self.session_id: int | None = None
+        self.activations = 0
+        self.last_activation: ActivateOperatingPoint | None = None
+        transport.set_push_handler(self._on_push)
+
+    # -- registration (steps 1-2) --------------------------------------------------
+
+    def register(self, push_socket: str | None = None) -> int:
+        """Perform the registration handshake; returns the session id."""
+        reply = self.transport.request(
+            RegisterRequest(
+                pid=self.adapter.pid,
+                app_name=self.adapter.app_name,
+                granularity=self.granularity,
+                adaptivity=self.adapter.adaptivity.value,
+                provides_utility=self.adapter.provides_utility,
+                push_socket=push_socket,
+            )
+        )
+        if not isinstance(reply, RegisterReply) or not reply.ok:
+            error = getattr(reply, "error", None) or "registration rejected"
+            raise RegistrationError(error)
+        self.session_id = reply.session_id
+        if self.description_points:
+            ack = self.transport.request(
+                OperatingPointsMessage(
+                    pid=self.adapter.pid, points=self.description_points
+                )
+            )
+            if isinstance(ack, Ack) and not ack.ok:
+                raise RegistrationError(ack.error or "operating points rejected")
+        return self.session_id
+
+    def deregister(self) -> None:
+        """Graceful shutdown notification."""
+        self.transport.request(DeregisterRequest(pid=self.adapter.pid))
+
+    # -- push handling (steps 3-4) ----------------------------------------------------
+
+    def _on_push(self, message: Message) -> Message | None:
+        if isinstance(message, ActivateOperatingPoint):
+            self.adapter.apply_allocation(
+                degree=message.degree,
+                knobs=message.knobs,
+                hw_threads=list(message.hw_threads),
+            )
+            self.activations += 1
+            self.last_activation = message
+            return Ack(ok=True)
+        if isinstance(message, UtilityRequest):
+            return UtilityReply(
+                pid=self.adapter.pid, utility=self.adapter.current_utility()
+            )
+        return Ack(ok=False, error=f"unexpected push {message.TYPE!r}")

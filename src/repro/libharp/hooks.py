@@ -1,0 +1,58 @@
+"""Runtime-library hooks (§4.1.3–4.1.4).
+
+The real libharp adapts applications by intercepting runtime internals:
+``pthread_*`` for static applications, ``GOMP_parallel`` for OpenMP,
+TBB's market/arena sizing for Intel TBB, and a wrapper library for
+TensorFlow Lite.  In the simulation the interception point is the
+process's ``nthreads``; this module decides *what* the hook would set it
+to for each runtime, keeping the runtime-specific rules in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.openmp import OmpEnvironment, resolve_team_size
+
+
+@dataclass(frozen=True)
+class RuntimeHooks:
+    """Resolved hook behaviour for one application's runtime library."""
+
+    runtime: str  # "openmp" | "tbb" | "tensorflow" | "kpn" | "pthread"
+    malleable: bool
+
+    def resolve_degree(self, user_threads: int, harp_degree: int | None) -> int:
+        """Worker-thread count after the hook applies a HARP degree.
+
+        Non-malleable runtimes (plain pthreads) cannot change their thread
+        count — the OS simply time-shares the allocated cores among the
+        user's threads, the static-application drawback of §4.1.3.
+        """
+        if not self.malleable or harp_degree is None:
+            return user_threads
+        if self.runtime == "openmp":
+            env = OmpEnvironment(omp_num_threads=user_threads, nproc=user_threads)
+            return resolve_team_size(env, harp_degree)
+        # TBB's task arena and the TensorFlow wrapper both honour the
+        # HARP-provided concurrency limit directly.
+        return max(1, harp_degree)
+
+
+_RUNTIMES = {
+    "openmp": RuntimeHooks("openmp", malleable=True),
+    "tbb": RuntimeHooks("tbb", malleable=True),
+    "tensorflow": RuntimeHooks("tensorflow", malleable=True),
+    "kpn": RuntimeHooks("kpn", malleable=True),
+    "pthread": RuntimeHooks("pthread", malleable=False),
+    None: RuntimeHooks("pthread", malleable=False),
+}
+
+
+def detect_runtime(runtime_lib: str | None) -> RuntimeHooks:
+    """Automatic runtime detection, as libharp does at library load."""
+    hooks = _RUNTIMES.get(runtime_lib)
+    if hooks is None:
+        # Unknown runtimes degrade to the static-application path.
+        return _RUNTIMES["pthread"]
+    return hooks

@@ -1,0 +1,55 @@
+"""Heterogeneous CPU platform substrate.
+
+This package models the hardware that HARP manages: core topologies
+(Intel Raptor Lake P/E cores with SMT, Arm big.LITTLE islands), per-core
+power models, DVFS governors, and RAPL-like energy sensors.  The paper's
+resource manager never touches real silicon through anything richer than
+core counts, frequencies, and energy counters, so an analytic model with
+calibrated heterogeneity ratios exposes the same observable surface.
+"""
+
+from repro.platform.topology import (
+    Core,
+    CoreType,
+    HwThread,
+    Platform,
+    odroid_xu3e,
+    raptor_lake_i9_13900k,
+)
+from repro.platform.power import CorePowerModel, PlatformPowerModel
+from repro.platform.dvfs import (
+    Governor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+from repro.platform.sensors import EnergySensor, RaplPackageSensor
+from repro.platform.description import (
+    HardwareDescription,
+    load_hardware_description,
+    platform_from_description,
+    save_hardware_description,
+)
+
+__all__ = [
+    "Core",
+    "CoreType",
+    "HwThread",
+    "Platform",
+    "raptor_lake_i9_13900k",
+    "odroid_xu3e",
+    "CorePowerModel",
+    "PlatformPowerModel",
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "SchedutilGovernor",
+    "make_governor",
+    "EnergySensor",
+    "RaplPackageSensor",
+    "HardwareDescription",
+    "load_hardware_description",
+    "save_hardware_description",
+    "platform_from_description",
+]

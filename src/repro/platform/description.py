@@ -1,0 +1,84 @@
+"""Hardware description files.
+
+HARP stores its configuration — the hardware description and per-application
+operating-point profiles — under a directory such as ``/etc/harp``
+(§4.3).  This module implements the hardware half: a JSON document from
+which a :class:`~repro.platform.topology.Platform` can be reconstructed,
+so that administrators can inspect and tune the platform model without
+touching code, exactly as the paper proposes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.platform.topology import CoreType, Platform
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class HardwareDescription:
+    """Serializable description of a heterogeneous platform."""
+
+    name: str
+    core_types: list[dict] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+    uncore_power_w: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_platform(cls, platform: Platform) -> "HardwareDescription":
+        """Capture an in-memory platform as a description document."""
+        return cls(
+            name=platform.name,
+            core_types=[asdict(ct) for ct in platform.core_types],
+            counts={
+                ct.name: platform.count_of_type(ct.name)
+                for ct in platform.core_types
+            },
+            uncore_power_w=platform.uncore_power_w,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HardwareDescription":
+        data = json.loads(text)
+        version = data.get("schema_version", 0)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported hardware description schema {version}"
+            )
+        return cls(
+            name=data["name"],
+            core_types=data["core_types"],
+            counts=data["counts"],
+            uncore_power_w=data.get("uncore_power_w", 0.0),
+            schema_version=version,
+        )
+
+
+def platform_from_description(desc: HardwareDescription) -> Platform:
+    """Rebuild a :class:`Platform` from a description document."""
+    counts = []
+    for raw in desc.core_types:
+        core_type = CoreType(**raw)
+        counts.append((core_type, desc.counts[core_type.name]))
+    return Platform.build(desc.name, counts, uncore_power_w=desc.uncore_power_w)
+
+
+def save_hardware_description(platform: Platform, path: str | Path) -> None:
+    """Write the platform's description file (``/etc/harp`` deployment model)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(HardwareDescription.from_platform(platform).to_json())
+
+
+def load_hardware_description(path: str | Path) -> Platform:
+    """Load a platform from a description file."""
+    desc = HardwareDescription.from_json(Path(path).read_text())
+    return platform_from_description(desc)

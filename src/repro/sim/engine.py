@@ -1,0 +1,371 @@
+"""The discrete-time execution engine.
+
+Advances a *world* — platform, governor, scheduler, sensors, and a set of
+simulated processes — in fixed ticks (default 10 ms).  Each tick the
+scheduler produces a thread→hardware-thread placement, application models
+convert delivered core time into progress, and the power model integrates
+package energy through the (noisy) sensors.
+
+The engine computes ground truth; the HARP resource manager only ever
+observes the same artifacts the paper's implementation gets from Linux:
+perf instruction counters, RAPL-style package energy, and per-process CPU
+time per core type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, NamedTuple
+
+from repro.platform.dvfs import Governor, PerformanceGovernor
+from repro.platform.power import CorePowerModel, PlatformPowerModel
+from repro.platform.sensors import EnergySensor
+from repro.platform.topology import Platform
+from repro.sim.perf import PerfCounters
+from repro.sim.process import SimProcess, SimThread, ThreadId
+
+
+class ThreadSlot(NamedTuple):
+    """What one application thread gets from the hardware this tick."""
+
+    hw_thread_id: int
+    core_id: int
+    core_type: str
+    speed: float
+    share: float
+
+
+class AppPerf(NamedTuple):
+    """An application model's response to its thread slots.
+
+    Attributes:
+        rate: overall progress in work-units/s.
+        activities: per-slot on-CPU fraction in [0, 1] (spinning counts as
+            active; sleeping does not).
+        ips: instructions/s the perf substrate should observe.
+    """
+
+    rate: float
+    activities: list[float]
+    ips: float
+
+
+@dataclass
+class TickStats:
+    """Per-tick byproducts used by monitors and experiments."""
+
+    time_s: float = 0.0
+    package_power_w: float = 0.0
+    busy_time_by_type: dict[str, float] = field(default_factory=dict)
+    energy_by_type_j: dict[str, float] = field(default_factory=dict)
+
+
+class World:
+    """A complete simulated machine plus its workload."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: "SchedulerProtocol",
+        governor: Governor | None = None,
+        tick_s: float = 0.01,
+        seed: int | None = None,
+        sensor_noise: float = 0.01,
+        perf_noise: float = 0.02,
+    ):
+        if tick_s <= 0:
+            raise ValueError("tick_s must be > 0")
+        self.platform = platform
+        self.scheduler = scheduler
+        self.governor = governor or PerformanceGovernor(platform)
+        self.tick_s = tick_s
+        self.time_s = 0.0
+        self.power_model = PlatformPowerModel(platform)
+        self.package_sensor = EnergySensor(
+            "package", noise_std=sensor_noise, seed=seed
+        )
+        self.perf = PerfCounters(noise_std=perf_noise, seed=None if seed is None else seed + 1)
+        self.processes: dict[int, SimProcess] = {}
+        self.on_process_start: list[Callable[[SimProcess], None]] = []
+        self.on_process_exit: list[Callable[[SimProcess], None]] = []
+        self.on_tick: list[Callable[["World"], None]] = []
+        self.last_stats = TickStats()
+        self.energy_by_type_j: dict[str, float] = {
+            ct.name: 0.0 for ct in platform.core_types
+        }
+        self.busy_time_by_type_s: dict[str, float] = {
+            ct.name: 0.0 for ct in platform.core_types
+        }
+        self._next_pid = 1
+        self._core_util: dict[int, float] = {}
+        self._core_power_models = {
+            ct.name: CorePowerModel(ct) for ct in platform.core_types
+        }
+        self._hw_by_id = {t.thread_id: t for t in platform.hw_threads}
+        self._core_by_id = {c.core_id: c for c in platform.cores}
+        self._idle_floor_w = platform.uncore_power_w + sum(
+            c.core_type.idle_power_w for c in platform.cores
+        )
+
+    # -- workload management --------------------------------------------------
+
+    def spawn(
+        self,
+        model,
+        nthreads: int | None = None,
+        affinity: frozenset[int] | None = None,
+        managed: bool = False,
+        daemon: bool = False,
+    ) -> SimProcess:
+        """Start a process running ``model`` and notify listeners."""
+        if nthreads is None:
+            nthreads = model.default_nthreads(self.platform)
+        process = SimProcess(
+            pid=self._next_pid,
+            model=model,
+            nthreads=nthreads,
+            affinity=affinity,
+            start_time_s=self.time_s,
+            managed=managed,
+            daemon=daemon,
+        )
+        self._next_pid += 1
+        self.processes[process.pid] = process
+        for callback in self.on_process_start:
+            callback(process)
+        return process
+
+    def running_processes(self) -> list[SimProcess]:
+        return [p for p in self.processes.values() if not p.finished]
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self) -> TickStats:
+        """Advance the world by one tick."""
+        dt = self.tick_s
+        running = self.running_processes()
+        placement = self.scheduler.place(self) if running else {}
+        self._validate_placement(placement)
+
+        threads_on_hw: dict[int, list[ThreadId]] = {}
+        for tid, hw_id in placement.items():
+            threads_on_hw.setdefault(hw_id, []).append(tid)
+
+        # Demand-weighted time-sharing: a thread that only wants a sliver
+        # of CPU (e.g. the RM daemon) leaves the rest of the slice to its
+        # queue mates, like a real proportional-share scheduler.
+        demand: dict[ThreadId, float] = {}
+        for process in running:
+            d = process.model.thread_demand(process)
+            for thread in process.active_threads:
+                demand[thread.tid] = d
+        shares: dict[ThreadId, float] = {}
+        for hw_id, tids in threads_on_hw.items():
+            total = sum(demand[tid] for tid in tids)
+            if total <= 1.0:
+                for tid in tids:
+                    shares[tid] = demand[tid] if demand[tid] > 0 else 0.0
+            else:
+                for tid in tids:
+                    shares[tid] = demand[tid] / total
+
+        busy_hw_per_core: dict[int, int] = {}
+        for hw_id in threads_on_hw:
+            core_id = self._hw_by_id[hw_id].core_id
+            busy_hw_per_core[core_id] = busy_hw_per_core.get(core_id, 0) + 1
+
+        freqs = self.governor.select_all(self._core_util)
+
+        # Build slots per process and evaluate the application models.
+        busy_fraction: dict[int, float] = {}
+        app_busy_on_core: dict[int, dict[int, float]] = {}
+        stats = TickStats(time_s=self.time_s)
+        for process in running:
+            slots = []
+            slot_threads: list[SimThread] = []
+            for thread in process.active_threads:
+                hw_id = placement.get(thread.tid)
+                if hw_id is None:
+                    continue
+                hw = self._hw_by_id[hw_id]
+                share = shares[thread.tid]
+                siblings = busy_hw_per_core[hw.core_id]
+                freq = freqs.get(hw.core_id)
+                speed = hw.core_type.thread_speed(siblings, freq) * share
+                slots.append(
+                    ThreadSlot(hw_id, hw.core_id, hw.core_type.name, speed, share)
+                )
+                slot_threads.append(thread)
+            if not slots:
+                continue
+            perf = process.model.perf(slots, process)
+            frac = 1.0
+            remaining = process.remaining_work()
+            if perf.rate > 0 and perf.rate * dt >= remaining:
+                frac = remaining / (perf.rate * dt) if remaining > 0 else 0.0
+                process.work_done = process.model.total_work
+                process.finished = True
+                process.finish_time_s = self.time_s + dt * frac
+            else:
+                process.work_done += perf.rate * dt
+
+            cpu_time = 0.0
+            for slot, thread, activity in zip(slots, slot_threads, perf.activities):
+                used = activity * slot.share * frac
+                busy_fraction[slot.hw_thread_id] = (
+                    busy_fraction.get(slot.hw_thread_id, 0.0) + used
+                )
+                app_busy_on_core.setdefault(slot.core_id, {})
+                app_busy_on_core[slot.core_id][process.pid] = (
+                    app_busy_on_core[slot.core_id].get(process.pid, 0.0) + used
+                )
+                thread.update_utilization(activity * slot.share, dt)
+                slot_time = used * dt
+                cpu_time += slot_time
+                process.cpu_time_by_type[slot.core_type] = (
+                    process.cpu_time_by_type.get(slot.core_type, 0.0) + slot_time
+                )
+            self.perf.accumulate(process.pid, perf.ips * frac, dt, cpu_time)
+
+        # Idle threads decay their PELT utilization.
+        placed = set(placement)
+        for process in running:
+            for thread in process.active_threads:
+                if thread.tid not in placed:
+                    thread.update_utilization(0.0, dt)
+
+        # Power integration.  Package-level superlinearity: VRM losses and
+        # current-dependent leakage make per-core active power rise
+        # slightly with total load, so package power is not a purely
+        # linear function of the allocation.
+        load_ratio = (
+            sum(busy_fraction.values()) / self.platform.n_hw_threads
+            if busy_fraction
+            else 0.0
+        )
+        superlinear = 0.92 + 0.16 * load_ratio
+        package_power = self.platform.uncore_power_w
+        core_util: dict[int, float] = {}
+        for core in self.platform.cores:
+            fractions = [
+                min(1.0, busy_fraction.get(t.thread_id, 0.0))
+                for t in core.hw_threads
+            ]
+            model = self._core_power_models[core.core_type.name]
+            power = model.power_fractional(fractions, freqs.get(core.core_id))
+            # Instruction-mix effect: scale the active (above-idle) power
+            # by the weighted power intensity of the applications running
+            # on this core.
+            mix = app_busy_on_core.get(core.core_id)
+            intensity = 1.0
+            if mix:
+                total_busy = sum(mix.values())
+                if total_busy > 0:
+                    intensity = sum(
+                        used * self.processes[pid].model.power_intensity
+                        for pid, used in mix.items()
+                    ) / total_busy
+            idle = core.core_type.idle_power_w
+            power = idle + (power - idle) * intensity * superlinear
+            package_power += power
+            core_util[core.core_id] = sum(fractions) / len(fractions)
+            busy_sum = sum(fractions)
+            type_name = core.core_type.name
+            stats.busy_time_by_type[type_name] = (
+                stats.busy_time_by_type.get(type_name, 0.0) + busy_sum * dt
+            )
+            self.busy_time_by_type_s[type_name] += busy_sum * dt
+            energy = power * dt
+            stats.energy_by_type_j[type_name] = (
+                stats.energy_by_type_j.get(type_name, 0.0) + energy
+            )
+            self.energy_by_type_j[type_name] += energy
+            # Ground-truth dynamic-energy attribution for validation:
+            # weighted by each application's actual power intensity, which
+            # the γ-based attribution of Eq. 3 cannot observe.
+            dynamic = power - core.core_type.idle_power_w
+            contributions = app_busy_on_core.get(core.core_id)
+            if dynamic > 0 and contributions:
+                weights = {
+                    pid: used * self.processes[pid].model.power_intensity
+                    for pid, used in contributions.items()
+                }
+                total_weight = sum(weights.values())
+                if total_weight > 0:
+                    for pid, weight in weights.items():
+                        self.processes[pid].energy_true_j += (
+                            dynamic * dt * weight / total_weight
+                        )
+        self._core_util = core_util
+        stats.package_power_w = package_power
+        self.package_sensor.accumulate(package_power, dt)
+        self.last_stats = stats
+
+        # Completion notifications happen after accounting for the tick.
+        just_finished = [p for p in running if p.finished]
+        self.time_s += dt
+        for process in just_finished:
+            for callback in process.on_finish:
+                callback(process)
+            for callback in self.on_process_exit:
+                callback(process)
+        for callback in self.on_tick:
+            callback(self)
+        return stats
+
+    def run_for(self, seconds: float) -> None:
+        """Advance by a fixed duration."""
+        target = self.time_s + seconds
+        while self.time_s < target - 1e-12:
+            self.step()
+
+    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
+        """Run until every process finished; returns the makespan.
+
+        The makespan is the latest finish time across processes, measured
+        from time zero of the world.
+        """
+        while any(not p.daemon for p in self.running_processes()):
+            if self.time_s > max_seconds:
+                raise RuntimeError(
+                    f"simulation exceeded {max_seconds}s without finishing"
+                )
+            self.step()
+        finish_times = [
+            p.finish_time_s
+            for p in self.processes.values()
+            if p.finish_time_s is not None
+        ]
+        return max(finish_times) if finish_times else self.time_s
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _validate_placement(self, placement: dict[ThreadId, int]) -> None:
+        for tid, hw_id in placement.items():
+            process = self.processes.get(tid.pid)
+            if process is None or process.finished:
+                raise ValueError(f"placement for unknown/finished process {tid}")
+            if hw_id not in self._hw_by_id:
+                raise ValueError(f"unknown hardware thread {hw_id}")
+            if process.affinity is not None and hw_id not in process.affinity:
+                raise ValueError(
+                    f"thread {tid} placed outside its affinity mask"
+                )
+
+    def total_energy_j(self) -> float:
+        """Noisy package energy since start (what RAPL would report)."""
+        return self.package_sensor.read_energy_j()
+
+    def hw_threads_of_cores(self, core_ids: list[int]) -> frozenset[int]:
+        """All hardware-thread ids belonging to the given cores."""
+        ids = []
+        for core_id in core_ids:
+            ids.extend(t.thread_id for t in self._core_by_id[core_id].hw_threads)
+        return frozenset(ids)
+
+
+class SchedulerProtocol:
+    """Structural interface of schedulers (see sim.schedulers.base)."""
+
+    def place(self, world: World) -> dict[ThreadId, int]:  # pragma: no cover
+        raise NotImplementedError

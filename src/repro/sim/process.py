@@ -1,0 +1,116 @@
+"""Simulated processes and threads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apps.base import ApplicationModel
+
+
+class ThreadId(NamedTuple):
+    """Identifies one thread: (process id, thread index)."""
+
+    pid: int
+    tidx: int
+
+
+# PELT-style utilization tracking: geometric decay with a ~32 ms half-life,
+# mirroring the kernel's per-entity load tracking that EAS consumes.
+_PELT_HALFLIFE_S = 0.032
+
+
+@dataclass
+class SimThread:
+    """One schedulable thread with PELT-style utilization state."""
+
+    tid: ThreadId
+    itd_class: int = 0
+    utilization: float = 0.0
+
+    def update_utilization(self, activity: float, dt_s: float) -> None:
+        """Fold this tick's busy fraction into the PELT-like average."""
+        decay = 0.5 ** (dt_s / _PELT_HALFLIFE_S)
+        self.utilization = self.utilization * decay + activity * (1 - decay)
+
+
+@dataclass
+class SimProcess:
+    """A running application instance.
+
+    Attributes:
+        pid: unique process id within the world.
+        model: the application's ground-truth behaviour model.
+        nthreads: current number of worker threads (adaptable at runtime).
+        affinity: hardware-thread ids the process may run on (None = all).
+        knobs: current adaptivity-knob values (custom applications).
+        work_done / finished: progress bookkeeping.
+        cpu_time_by_type: seconds of CPU time consumed per core type —
+            the input to EnergAt-style energy attribution.
+        energy_true_j: ground-truth attributed energy, used only to
+            *validate* the attribution (never visible to the RM).
+    """
+
+    pid: int
+    model: "ApplicationModel"
+    nthreads: int
+    affinity: frozenset[int] | None = None
+    knobs: dict = field(default_factory=dict)
+    work_done: float = 0.0
+    finished: bool = False
+    start_time_s: float = 0.0
+    finish_time_s: float | None = None
+    cpu_time_by_type: dict[str, float] = field(default_factory=dict)
+    energy_true_j: float = 0.0
+    threads: list[SimThread] = field(default_factory=list)
+    on_finish: list[Callable[["SimProcess"], None]] = field(default_factory=list)
+    managed: bool = False
+    daemon: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+        self._sync_threads()
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    def set_nthreads(self, nthreads: int) -> None:
+        """Adjust the parallelization degree (malleability, §4.1.3)."""
+        if nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+        self.nthreads = nthreads
+        self._sync_threads()
+
+    def set_affinity(self, hw_threads: frozenset[int] | None) -> None:
+        """Restrict the process to a set of hardware threads."""
+        if hw_threads is not None and not hw_threads:
+            raise ValueError("affinity set must be non-empty or None")
+        self.affinity = hw_threads
+
+    def _sync_threads(self) -> None:
+        while len(self.threads) < self.nthreads:
+            idx = len(self.threads)
+            self.threads.append(
+                SimThread(
+                    tid=ThreadId(self.pid, idx),
+                    itd_class=self.model.itd_class_for_thread(idx),
+                )
+            )
+        del self.threads[self.nthreads:]
+
+    @property
+    def active_threads(self) -> list[SimThread]:
+        return self.threads if not self.finished else []
+
+    def remaining_work(self) -> float:
+        return max(0.0, self.model.total_work - self.work_done)
+
+    def progress_fraction(self) -> float:
+        return min(1.0, self.work_done / self.model.total_work)
+
+    def elapsed_s(self, now_s: float) -> float:
+        end = self.finish_time_s if self.finished else now_s
+        return end - self.start_time_s

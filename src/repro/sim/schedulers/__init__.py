@@ -1,0 +1,16 @@
+"""Scheduler substrate: CFS-, EAS-, and ITD-like baselines plus the
+affinity-respecting scheduler HARP runs on top of."""
+
+from repro.sim.schedulers.base import Scheduler
+from repro.sim.schedulers.cfs import CfsScheduler
+from repro.sim.schedulers.eas import EasScheduler
+from repro.sim.schedulers.itd import ItdScheduler
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+__all__ = [
+    "Scheduler",
+    "CfsScheduler",
+    "EasScheduler",
+    "ItdScheduler",
+    "PinnedScheduler",
+]

@@ -1,0 +1,48 @@
+"""Scheduler interface and shared placement helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.sim.process import SimProcess, SimThread, ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import World
+
+
+class Scheduler(ABC):
+    """Maps runnable threads onto hardware threads each tick.
+
+    Schedulers must respect process affinity masks (as the Linux scheduler
+    respects cpusets / sched_setaffinity); the engine validates this.
+    """
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def place(self, world: "World") -> dict[ThreadId, int]:
+        """Return a thread→hardware-thread placement for this tick."""
+
+    @staticmethod
+    def runnable(world: "World") -> list[tuple[SimProcess, SimThread]]:
+        """All (process, thread) pairs eligible to run, deterministic order.
+
+        Threads with (near-)zero CPU demand are sleeping — a blocked
+        daemon does not sit on a run queue — and are skipped entirely.
+        """
+        pairs = []
+        for process in sorted(world.running_processes(), key=lambda p: p.pid):
+            if process.model.thread_demand(process) <= 1e-6:
+                continue
+            for thread in process.active_threads:
+                pairs.append((process, thread))
+        return pairs
+
+    @staticmethod
+    def allowed_hw_threads(world: "World", process: SimProcess) -> list[int]:
+        """Hardware threads the process may run on, in id order."""
+        all_ids = [t.thread_id for t in world.platform.hw_threads]
+        if process.affinity is None:
+            return all_ids
+        return [i for i in all_ids if i in process.affinity]

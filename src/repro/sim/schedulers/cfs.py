@@ -1,0 +1,66 @@
+"""CFS-like baseline scheduler.
+
+Models the behaviour of the Linux Completely Fair Scheduler on a hybrid
+processor at the granularity HARP observes: per-tick load-balanced
+placement.  The heuristic mirrors capacity-aware CFS:
+
+1. never stack a thread on a busy hardware thread while an idle one is
+   allowed (idle-core preference),
+2. among idle hardware threads prefer a fully idle core over an SMT
+   sibling of a busy core,
+3. prefer higher-capacity (P/big) cores,
+4. balance by per-hardware-thread run-queue length otherwise.
+
+Crucially — and this is the gap the paper targets — CFS has no notion of
+application-level behaviour: every runnable thread is balanced
+individually, and applications are never told where they run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.process import ThreadId
+from repro.sim.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import World
+
+
+class CfsScheduler(Scheduler):
+    """Capacity-aware load-balancing baseline."""
+
+    name = "cfs"
+
+    def place(self, world: "World") -> dict[ThreadId, int]:
+        hw_threads = world.platform.hw_threads
+        capacity = {
+            t.thread_id: t.core_type.base_speed for t in hw_threads
+        }
+        core_of = {t.thread_id: t.core_id for t in hw_threads}
+        siblings: dict[int, list[int]] = {}
+        for t in hw_threads:
+            siblings.setdefault(t.core_id, []).append(t.thread_id)
+
+        load: dict[int, int] = {t.thread_id: 0 for t in hw_threads}
+        placement: dict[ThreadId, int] = {}
+        for process, thread in self.runnable(world):
+            allowed = self.allowed_hw_threads(world, process)
+            if not allowed:
+                continue
+
+            def score(hw_id: int) -> tuple:
+                core_busy = sum(
+                    1 for s in siblings[core_of[hw_id]] if load[s] > 0
+                )
+                return (
+                    load[hw_id],          # idle hw threads first
+                    core_busy,            # fully idle cores before SMT siblings
+                    -capacity[hw_id],     # higher capacity first
+                    hw_id,                # deterministic tie-break
+                )
+
+            best = min(allowed, key=score)
+            placement[thread.tid] = best
+            load[best] += 1
+        return placement

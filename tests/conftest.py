@@ -1,0 +1,26 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.core.resource_vector import ErvLayout
+from repro.platform.topology import odroid_xu3e, raptor_lake_i9_13900k
+
+
+@pytest.fixture
+def intel():
+    return raptor_lake_i9_13900k()
+
+
+@pytest.fixture
+def odroid():
+    return odroid_xu3e()
+
+
+@pytest.fixture
+def intel_layout(intel):
+    return ErvLayout(intel)
+
+
+@pytest.fixture
+def odroid_layout(odroid):
+    return ErvLayout(odroid)

@@ -1,0 +1,80 @@
+"""Tests for analysis helpers: metrics and the policy-comparison summary."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import PolicyComparison
+from repro.analysis.metrics import (
+    geomean,
+    improvement_factor,
+    mean_and_std,
+    summarize_factors,
+)
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_single_value(self):
+        mean, std = mean_and_std([5.0])
+        assert mean == 5.0 and std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_std_nonnegative(self, values):
+        _, std = mean_and_std(values)
+        assert std >= 0
+
+
+class TestSummaries:
+    def test_summarize_factors(self):
+        rows = [{"f": 1.0}, {"f": 4.0}]
+        assert summarize_factors(rows, "f") == pytest.approx(2.0)
+
+    def test_improvement_factor_orientation(self):
+        # 10 s baseline, 5 s measured → 2× faster.
+        assert improvement_factor(10.0, 5.0) == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestPolicyComparison:
+    def _cmp(self):
+        cmp = PolicyComparison(baseline="cfs")
+        cmp.rows = [
+            {"scenario": "a", "kind": "single", "policy": "harp",
+             "time_factor": 2.0, "energy_factor": 4.0},
+            {"scenario": "b", "kind": "single", "policy": "harp",
+             "time_factor": 0.5, "energy_factor": 1.0},
+            {"scenario": "a+b", "kind": "multi", "policy": "harp",
+             "time_factor": 1.5, "energy_factor": 1.5},
+            {"scenario": "a", "kind": "single", "policy": "itd",
+             "time_factor": 1.0, "energy_factor": 1.0},
+        ]
+        return cmp
+
+    def test_geomeans_by_policy_and_kind(self):
+        means = self._cmp().geomeans()
+        assert means[("harp", "single")]["time_factor"] == pytest.approx(1.0)
+        assert means[("harp", "single")]["energy_factor"] == pytest.approx(2.0)
+        assert means[("harp", "single")]["n"] == 2
+        assert means[("harp", "multi")]["time_factor"] == pytest.approx(1.5)
+        assert ("itd", "single") in means
+
+    def test_kind_filter(self):
+        means = self._cmp().geomeans(kind="multi")
+        assert set(means) == {("harp", "multi")}

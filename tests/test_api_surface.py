@@ -1,0 +1,84 @@
+"""The public API surface: exports exist, are importable, and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.platform",
+    "repro.sim",
+    "repro.sim.schedulers",
+    "repro.apps",
+    "repro.core",
+    "repro.libharp",
+    "repro.ipc",
+    "repro.dse",
+    "repro.analysis",
+    "repro.ext",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [m for m in PUBLIC_MODULES if m not in ("repro.cli",)],
+)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__.startswith("repro"):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must keep working verbatim (short version)."""
+    from repro.analysis.scenarios import run_scenario
+
+    result = run_scenario(["is.C"], platform="intel", policy="cfs",
+                          rounds=1, seed=42)
+    assert result.makespan_s > 0
+
+
+def test_docstring_coverage_of_public_methods():
+    """Every public method on the core classes carries a docstring."""
+    from repro.core.allocator import LagrangianAllocator
+    from repro.core.exploration import ExplorationPlanner
+    from repro.core.manager import HarpManager
+    from repro.core.operating_point import OperatingPoint, OperatingPointTable
+    from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+    from repro.libharp.client import LibHarpClient
+
+    for cls in (
+        LagrangianAllocator, ExplorationPlanner, HarpManager,
+        OperatingPoint, OperatingPointTable, ErvLayout,
+        ExtendedResourceVector, LibHarpClient,
+    ):
+        for attr_name, attr in vars(cls).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isfunction(attr):
+                assert attr.__doc__, f"{cls.__name__}.{attr_name} undocumented"

@@ -1,0 +1,187 @@
+"""Tests for the workload models (NPB, TBB, TensorFlow, KPN)."""
+
+import pytest
+
+from repro.apps import (
+    kpn_model,
+    kpn_suite,
+    npb_intel_suite,
+    npb_model,
+    npb_odroid_suite,
+    tbb_model,
+    tbb_suite,
+    tflite_model,
+    tflite_suite,
+)
+from repro.apps.base import AdaptivityType, Balancing
+from repro.apps.kpn import REPLICAS_KNOB, KpnApplicationModel, KpnStage
+from repro.sim.engine import ThreadSlot
+from repro.sim.process import SimProcess
+
+
+def _slots(*speeds, core_type="P"):
+    return [
+        ThreadSlot(hw_thread_id=i, core_id=i, core_type=core_type,
+                   speed=s, share=1.0)
+        for i, s in enumerate(speeds)
+    ]
+
+
+class TestSuites:
+    def test_intel_suite_has_nine_kernels(self):
+        assert len(npb_intel_suite()) == 9
+
+    def test_odroid_suite_has_nine_kernels(self):
+        assert len(npb_odroid_suite()) == 9
+
+    def test_tbb_suite_matches_paper(self):
+        assert tbb_suite() == [
+            "binpack", "fractal", "parallel-preorder", "pi", "primes", "seismic",
+        ]
+
+    def test_tflite_suite(self):
+        assert tflite_suite() == ["alexnet", "vgg"]
+
+    def test_kpn_suite_has_static_and_adaptive(self):
+        assert set(kpn_suite()) == {
+            "lms", "lms-static", "mandelbrot", "mandelbrot-static",
+        }
+
+    def test_factories_return_fresh_instances(self):
+        a = npb_model("ep.C")
+        b = npb_model("ep.C")
+        assert a is not b
+
+    @pytest.mark.parametrize("factory,name", [
+        (npb_model, "xx.C"), (tbb_model, "nope"),
+        (tflite_model, "resnet"), (kpn_model, "fft"),
+    ])
+    def test_unknown_names_rejected(self, factory, name):
+        with pytest.raises(KeyError):
+            factory(name)
+
+
+class TestCharacters:
+    def test_mg_memory_bound(self):
+        assert npb_model("mg.C").mem_bw_cap is not None
+        assert npb_model("ep.C").mem_bw_cap is None
+
+    def test_lu_static_with_spin(self):
+        lu = npb_model("lu.C")
+        assert lu.balancing is Balancing.STATIC
+        assert lu.spin_ips_rate > 0
+
+    def test_binpack_has_contention(self):
+        assert tbb_model("binpack").contention_threshold is not None
+
+    def test_tflite_provides_utility(self):
+        assert tflite_model("vgg").provides_utility
+
+    def test_npb_does_not_provide_utility(self):
+        assert not npb_model("ep.C").provides_utility
+
+    def test_itd_class_thresholds(self):
+        assert npb_model("mg.C").itd_class_for_thread(0) == 1
+        assert npb_model("ep.C").itd_class_for_thread(0) == 0
+        assert npb_model("lu.C").itd_class_for_thread(0) == 0  # cap >= 8
+
+    def test_itd_perf_ratio_shape(self):
+        model = npb_model("ep.C")
+        assert model.itd_perf_ratio(0) > model.itd_perf_ratio(1)
+
+
+class TestPerfModel:
+    def test_rate_sums_speeds_when_dynamic(self):
+        model = npb_model("ep.C")
+        proc = SimProcess(pid=1, model=model, nthreads=2)
+        perf = model.perf(_slots(1.0, 0.55), proc)
+        assert perf.rate == pytest.approx(1.55, rel=0.01)
+
+    def test_empty_slots(self):
+        model = npb_model("ep.C")
+        proc = SimProcess(pid=1, model=model, nthreads=1)
+        perf = model.perf([], proc)
+        assert perf.rate == 0.0 and perf.ips == 0.0
+
+    def test_serial_fraction_limits_speedup(self):
+        from repro.apps.base import ApplicationModel
+
+        model = ApplicationModel(name="amdahl", total_work=1.0,
+                                 serial_fraction=0.5)
+        proc = SimProcess(pid=1, model=model, nthreads=8)
+        single = model.perf(_slots(1.0), proc).rate
+        many = model.perf(_slots(*([1.0] * 8)), proc).rate
+        assert many / single < 2.0
+
+    def test_ips_proportional_to_rate(self):
+        model = npb_model("ep.C")
+        proc = SimProcess(pid=1, model=model, nthreads=1)
+        perf = model.perf(_slots(1.0), proc)
+        assert perf.ips == pytest.approx(perf.rate * model.ips_per_work)
+
+    def test_activities_full_for_dynamic(self):
+        model = npb_model("ep.C")
+        proc = SimProcess(pid=1, model=model, nthreads=2)
+        perf = model.perf(_slots(1.0, 0.55), proc)
+        assert perf.activities == [1.0, 1.0]
+
+    def test_spinning_threads_fully_active(self):
+        model = npb_model("lu.C")
+        proc = SimProcess(pid=1, model=model, nthreads=2)
+        perf = model.perf(_slots(1.0, 0.5), proc)
+        assert perf.activities == [1.0, 1.0]
+
+    def test_contention_blocks_reduce_activity(self):
+        model = tbb_model("binpack")
+        proc = SimProcess(pid=1, model=model, nthreads=10)
+        perf = model.perf(_slots(*([1.0] * 10)), proc)
+        assert all(a < 0.6 for a in perf.activities)
+
+
+class TestKpn:
+    def test_topology_size_default(self):
+        model = kpn_model("mandelbrot")
+        assert model.topology_size() == 1 + 4 + 1
+
+    def test_pipeline_gated_by_slowest_stage(self):
+        model = KpnApplicationModel(
+            name="pipe", total_work=10.0,
+            stages=[KpnStage("a", weight=1.0), KpnStage("b", weight=2.0)],
+        )
+        proc = SimProcess(pid=1, model=model, nthreads=2)
+        perf = model.perf(_slots(1.0, 1.0), proc)
+        # Stage b needs 2 units of work per app unit → rate 0.5.
+        assert perf.rate == pytest.approx(0.5)
+
+    def test_blocked_stage_partially_idle(self):
+        model = KpnApplicationModel(
+            name="pipe", total_work=10.0,
+            stages=[KpnStage("a", weight=1.0), KpnStage("b", weight=2.0)],
+        )
+        proc = SimProcess(pid=1, model=model, nthreads=2)
+        perf = model.perf(_slots(1.0, 1.0), proc)
+        # Stage a is throttled by b: busy only half the time.
+        assert perf.activities[0] == pytest.approx(0.5)
+        assert perf.activities[1] == pytest.approx(1.0)
+
+    def test_replicas_knob_scales_parallel_stage(self):
+        model = kpn_model("mandelbrot")
+        proc = SimProcess(pid=1, model=model, nthreads=model.topology_size())
+        knob = model.replicas_knob_for(10)
+        assert REPLICAS_KNOB in knob
+        proc.knobs.update(knob)
+        assert model.topology_size(proc) > 6
+
+    def test_static_variant_is_static(self):
+        assert kpn_model("lms-static").adaptivity is AdaptivityType.STATIC
+        assert kpn_model("lms").adaptivity is AdaptivityType.CUSTOM
+
+    def test_kpn_needs_stages(self):
+        with pytest.raises(ValueError):
+            KpnApplicationModel(name="bad", total_work=1.0, stages=[])
+
+    def test_replicas_knob_distributes_by_weight(self):
+        model = kpn_model("lms")
+        knob = model.replicas_knob_for(12)[REPLICAS_KNOB]
+        assert knob["ots-sign"] >= 1
+        assert sum(knob.values()) >= 1

@@ -1,0 +1,131 @@
+"""Tests for the background-task core reservation (§4.3 production model)."""
+
+import pytest
+
+from repro.apps import npb_model
+from repro.apps.base import ApplicationModel
+from repro.core.allocator import AllocationRequest, LagrangianAllocator
+from repro.core.manager import HarpManager, ManagerConfig
+from repro.core.operating_point import OperatingPoint
+from repro.platform.dvfs import make_governor
+from repro.sim.engine import World
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+
+def _point(layout, utility, power, **counts):
+    return OperatingPoint(erv=layout.make(**counts), utility=utility,
+                          power=power, measured=True, samples=1)
+
+
+class TestAllocatorReservation:
+    def test_reserved_cores_never_placed(self, intel, intel_layout):
+        allocator = LagrangianAllocator(intel, intel_layout)
+        result = allocator.allocate(
+            [AllocationRequest(
+                pid=1,
+                points=[_point(intel_layout, 6.0, 60.0, E=16)],
+                max_utility=6.0,
+            )],
+            reserved={"E": 4},
+        )
+        sel = result.selections[1]
+        # The request for 16 E-cores cannot be met: only 12 remain.
+        reserved_hw = {
+            t.thread_id
+            for c in intel.cores_of_type("E")[-4:]
+            for t in c.hw_threads
+        }
+        assert not (sel.hw_threads & reserved_hw) or sel.co_allocated is False
+        # Placement avoided the last four E-cores.
+        assert not (sel.hw_threads & reserved_hw)
+
+    def test_capacity_shrinks(self, intel, intel_layout):
+        allocator = LagrangianAllocator(intel, intel_layout)
+        points = [
+            _point(intel_layout, 6.0, 30.0, E=16),
+            _point(intel_layout, 5.0, 26.0, E=12),
+        ]
+        result = allocator.allocate(
+            [AllocationRequest(pid=1, points=points, max_utility=6.0)],
+            reserved={"E": 4},
+        )
+        assert result.erv_of(1) == intel_layout.make(E=12)
+
+    def test_full_reservation_rejected(self, intel, intel_layout):
+        allocator = LagrangianAllocator(intel, intel_layout)
+        with pytest.raises(ValueError):
+            allocator.allocate(
+                [AllocationRequest(
+                    pid=1,
+                    points=[_point(intel_layout, 1.0, 1.0, E=1)],
+                    max_utility=1.0,
+                )],
+                reserved={"P": 8, "E": 16},
+            )
+
+
+class TestManagerReservation:
+    def test_managed_apps_avoid_reserved_cores(self, intel):
+        world = World(
+            intel, PinnedScheduler(),
+            governor=make_governor("powersave", intel), seed=3,
+        )
+        config = ManagerConfig(
+            startup_delay_s=0.05,
+            background_reserve={"P": 1, "E": 4},
+        )
+        HarpManager(world, config)
+        proc = world.spawn(npb_model("ep.C"), managed=True)
+        world.run_for(2.0)
+        reserved_hw = set()
+        for core in intel.cores_of_type("P")[-1:]:
+            reserved_hw |= {t.thread_id for t in core.hw_threads}
+        for core in intel.cores_of_type("E")[-4:]:
+            reserved_hw |= {t.thread_id for t in core.hw_threads}
+        assert proc.affinity is not None
+        assert not (proc.affinity & reserved_hw)
+
+    def test_background_work_lands_on_reserved_cores(self, intel):
+        world = World(
+            intel, PinnedScheduler(),
+            governor=make_governor("powersave", intel), seed=3,
+        )
+        config = ManagerConfig(
+            startup_delay_s=0.05, background_reserve={"E": 4}
+        )
+        HarpManager(world, config)
+        managed = world.spawn(npb_model("ep.C"), managed=True)
+        background = world.spawn(
+            ApplicationModel(name="backupd", total_work=1e6,
+                             fixed_nthreads=2, runtime_lib=None),
+            managed=False,
+        )
+        world.run_for(1.0)
+        placement = world.scheduler.place(world)
+        bg_hw = {hw for tid, hw in placement.items()
+                 if tid.pid == background.pid}
+        managed_hw = managed.affinity or set()
+        # The background daemon finds idle (reserved) hardware threads and
+        # does not time-share with the managed application.
+        assert not (bg_hw & managed_hw)
+
+    def test_reservation_with_multiple_apps(self, intel):
+        world = World(
+            intel, PinnedScheduler(),
+            governor=make_governor("powersave", intel), seed=3,
+        )
+        config = ManagerConfig(
+            startup_delay_s=0.05, background_reserve={"E": 2}
+        )
+        HarpManager(world, config)
+        a = world.spawn(npb_model("ep.C"), managed=True)
+        b = world.spawn(npb_model("mg.C"), managed=True)
+        world.run_for(1.0)
+        reserved_hw = {
+            t.thread_id
+            for c in intel.cores_of_type("E")[-2:]
+            for t in c.hw_threads
+        }
+        for proc in (a, b):
+            if proc.affinity:
+                assert not (proc.affinity & reserved_hw)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario", "--apps", "ep.C"])
+        assert args.policy == "harp"
+        assert args.platform == "intel"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "--apps", "ep.C", "--policy", "random"]
+            )
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_scenario_cfs(self, capsys):
+        rc = main(["scenario", "--apps", "is.C", "--policy", "cfs",
+                   "--rounds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "energy" in out
+
+    def test_scenario_with_baseline(self, capsys):
+        rc = main(["scenario", "--apps", "is.C", "--policy", "itd",
+                   "--baseline", "cfs", "--rounds", "1"])
+        assert rc == 0
+        assert "vs cfs" in capsys.readouterr().out
+
+    def test_hardware_dump(self, tmp_path, capsys):
+        out = tmp_path / "hw.json"
+        rc = main(["hardware", "--platform", "odroid", "--out", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["name"] == "odroid-xu3e"
+
+    def test_dse_writes_profile(self, tmp_path, capsys):
+        out = tmp_path / "is.json"
+        rc = main(["dse", "--app", "is.C", "--out", str(out),
+                   "--max-points", "6", "--probe", "0.2"])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["table"]["app"] == "is.C"
+        assert len(data["table"]["points"]) == 6
+
+    def test_dse_profile_usable_by_scenario(self, tmp_path, capsys):
+        profile = tmp_path / "mg.json"
+        assert main(["dse", "--app", "mg.C", "--out", str(profile),
+                     "--max-points", "8", "--probe", "0.3"]) == 0
+        rc = main(["scenario", "--apps", "mg.C", "--policy", "harp-offline",
+                   "--profiles", str(profile), "--rounds", "1"])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_experiment_attribution(self, capsys):
+        rc = main(["experiment", "--name", "attribution"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "mape_pct" in data
+
+    def test_experiment_overhead(self, capsys):
+        rc = main(["experiment", "--name", "overhead"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all("overhead_pct" in r for r in rows)

@@ -1,0 +1,179 @@
+"""Tests for the energy-utility cost and operating-point tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost import (
+    MIN_NORMALIZED_UTILITY,
+    energy_utility_cost,
+    geomean,
+    improvement_factor,
+    normalized_utility,
+)
+from repro.core.operating_point import (
+    MaturityStage,
+    OperatingPoint,
+    OperatingPointTable,
+)
+
+
+class TestCost:
+    def test_eq2_formula(self):
+        # ζ = (p / v*) · (1 / v*) with v* = v / v_max.
+        assert energy_utility_cost(10.0, 5.0, 10.0) == pytest.approx(
+            (10.0 / 0.5) * (1 / 0.5)
+        )
+
+    def test_full_utility(self):
+        assert energy_utility_cost(50.0, 10.0, 10.0) == pytest.approx(50.0)
+
+    def test_zero_utility_is_finite(self):
+        cost = energy_utility_cost(10.0, 0.0, 10.0)
+        assert cost == pytest.approx(10.0 / MIN_NORMALIZED_UTILITY**2)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            energy_utility_cost(-1.0, 1.0, 1.0)
+
+    def test_bad_max_utility_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_utility(1.0, 0.0)
+
+    @given(st.floats(0.1, 1e3), st.floats(0.1, 1e3), st.floats(0.1, 1e3))
+    def test_cost_monotone_in_power(self, p, v, vmax):
+        assert energy_utility_cost(p, v, vmax) <= energy_utility_cost(
+            p * 2, v, vmax
+        )
+
+    @given(st.floats(0.1, 1e3), st.floats(0.1, 500.0), st.floats(501.0, 1e3))
+    def test_cost_decreases_with_utility(self, p, v, vmax):
+        assert energy_utility_cost(p, v * 1.5, vmax) < energy_utility_cost(
+            p, v, vmax
+        )
+
+    def test_improvement_factor(self):
+        assert improvement_factor(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestOperatingPoint:
+    def test_record_sample_initializes(self, intel_layout):
+        point = OperatingPoint(erv=intel_layout.make(E=2))
+        point.record_sample(10.0, 5.0)
+        assert point.utility == 10.0
+        assert point.power == 5.0
+        assert point.measured
+        assert point.samples == 1
+
+    def test_record_sample_ema(self, intel_layout):
+        point = OperatingPoint(erv=intel_layout.make(E=2))
+        point.record_sample(10.0, 5.0)
+        point.record_sample(20.0, 15.0, alpha=0.1)
+        assert point.utility == pytest.approx(11.0)
+        assert point.power == pytest.approx(6.0)
+
+    def test_ema_converges_to_stationary_value(self, intel_layout):
+        point = OperatingPoint(erv=intel_layout.make(E=2))
+        for _ in range(200):
+            point.record_sample(42.0, 7.0)
+        assert point.utility == pytest.approx(42.0)
+        assert point.power == pytest.approx(7.0)
+
+    def test_prediction_overwritten_by_first_measurement(self, intel_layout):
+        point = OperatingPoint(erv=intel_layout.make(E=2), utility=99.0, power=99.0)
+        point.record_sample(10.0, 5.0)
+        assert point.utility == 10.0
+
+    def test_bad_alpha_rejected(self, intel_layout):
+        point = OperatingPoint(erv=intel_layout.make(E=2))
+        with pytest.raises(ValueError):
+            point.record_sample(1.0, 1.0, alpha=0.0)
+
+    def test_wire_round_trip(self, intel_layout):
+        point = OperatingPoint(
+            erv=intel_layout.make(P2=3, E=1),
+            utility=1.5,
+            power=30.0,
+            knobs={"algo": "fast"},
+            measured=True,
+            samples=7,
+        )
+        back = OperatingPoint.from_wire(intel_layout, point.to_wire())
+        assert back.erv == point.erv
+        assert back.utility == point.utility
+        assert back.knobs == {"algo": "fast"}
+        assert back.samples == 7
+
+    def test_fine_grained_flag(self, intel_layout):
+        assert OperatingPoint(erv=intel_layout.make(E=1), knobs={"k": 1}).is_fine_grained
+        assert not OperatingPoint(erv=intel_layout.make(E=1)).is_fine_grained
+
+
+class TestOperatingPointTable:
+    def test_coarse_points_unique_per_erv(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        erv = intel_layout.make(E=4)
+        table.add(OperatingPoint(erv=erv, utility=1.0))
+        table.add(OperatingPoint(erv=erv, utility=2.0))
+        assert len(table) == 1
+        assert table.get(erv).utility == 2.0
+
+    def test_fine_points_may_share_erv(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        erv = intel_layout.make(E=4)
+        table.add(OperatingPoint(erv=erv, knobs={"a": 1}))
+        table.add(OperatingPoint(erv=erv, knobs={"a": 2}))
+        assert len(table) == 2
+
+    def test_max_utility_prefers_measured(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        table.add(OperatingPoint(erv=intel_layout.make(E=1), utility=5.0, measured=True, samples=1))
+        table.add(OperatingPoint(erv=intel_layout.make(E=2), utility=50.0, measured=False))
+        assert table.max_utility() == 5.0
+
+    def test_max_utility_fallback_to_predicted(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        table.add(OperatingPoint(erv=intel_layout.make(E=2), utility=50.0))
+        assert table.max_utility() == 50.0
+
+    def test_max_utility_empty_table(self, intel_layout):
+        assert OperatingPointTable("app", intel_layout).max_utility() == 1.0
+
+    def test_record_measurement_creates_point(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        erv = intel_layout.make(P1=1)
+        table.record_measurement(erv, 3.0, 9.0)
+        assert table.measured_count() == 1
+        assert table.get(erv).utility == 3.0
+
+    def test_pareto_front_maximizes_utility_minimizes_power(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        good = OperatingPoint(erv=intel_layout.make(E=1), utility=10.0, power=5.0, measured=True, samples=1)
+        bad = OperatingPoint(erv=intel_layout.make(E=2), utility=5.0, power=10.0, measured=True, samples=1)
+        table.add(good)
+        table.add(bad)
+        front = table.pareto_front(measured_only=True)
+        assert good in front
+        assert bad not in front
+
+    def test_stage_starts_initial(self, intel_layout):
+        assert OperatingPointTable("a", intel_layout).stage is MaturityStage.INITIAL
+
+    def test_wire_round_trip(self, intel_layout):
+        table = OperatingPointTable("app", intel_layout)
+        table.stage = MaturityStage.STABLE
+        table.add(OperatingPoint(erv=intel_layout.make(E=4), utility=2.0, power=8.0, measured=True, samples=3))
+        back = OperatingPointTable.from_wire(intel_layout, table.to_wire())
+        assert back.app_name == "app"
+        assert back.stage is MaturityStage.STABLE
+        assert len(back) == 1
+        assert back.get(intel_layout.make(E=4)).power == 8.0

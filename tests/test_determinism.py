@@ -1,0 +1,83 @@
+"""Determinism: identical seeds must reproduce identical results.
+
+The entire evaluation methodology depends on reproducible simulation —
+every hidden source of nondeterminism (dict ordering, un-seeded RNG, time
+dependence) would silently corrupt paper-vs-measured comparisons.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import run_scenario
+from repro.apps import npb_model
+from repro.core.manager import HarpManager, ManagerConfig
+from repro.platform.dvfs import make_governor
+from repro.sim.engine import World
+from repro.sim.schedulers.cfs import CfsScheduler
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+
+class TestDeterminism:
+    def test_baseline_worlds_identical(self, intel):
+        results = []
+        for _ in range(2):
+            world = World(
+                intel if _ == 0 else type(intel)(
+                    name=intel.name, core_types=intel.core_types,
+                    cores=intel.cores, uncore_power_w=intel.uncore_power_w,
+                ),
+                CfsScheduler(),
+                governor=make_governor("powersave", intel),
+                seed=7,
+            )
+            world.spawn(npb_model("is.C"))
+            makespan = world.run_until_all_finished()
+            results.append((makespan, world.total_energy_j()))
+        assert results[0] == results[1]
+
+    def test_managed_worlds_identical(self, intel):
+        outcomes = []
+        for _ in range(2):
+            world = World(
+                intel, PinnedScheduler(),
+                governor=make_governor("powersave", intel), seed=11,
+            )
+            manager = HarpManager(world, ManagerConfig())
+            world.spawn(npb_model("is.C"), managed=True)
+            makespan = world.run_until_all_finished()
+            table = manager.table_store["is.C"]
+            outcomes.append(
+                (
+                    round(makespan, 9),
+                    round(world.total_energy_j(), 6),
+                    table.measured_count(),
+                    tuple(sorted(p.erv.counts for p in table.measured_points())),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_scenario_runner_reproducible(self):
+        a = run_scenario(["is.C"], policy="cfs", rounds=2, seed=5)
+        b = run_scenario(["is.C"], policy="cfs", rounds=2, seed=5)
+        assert a.makespan_s == b.makespan_s
+        assert a.energy_j == b.energy_j
+
+    def test_different_seeds_differ_only_in_noise(self):
+        a = run_scenario(["is.C"], policy="cfs", rounds=1, seed=1)
+        b = run_scenario(["is.C"], policy="cfs", rounds=1, seed=2)
+        # Same deterministic dynamics; only sensor noise differs.
+        assert a.makespan_s == pytest.approx(b.makespan_s, rel=1e-6)
+        assert a.energy_j != b.energy_j
+        assert a.energy_j == pytest.approx(b.energy_j, rel=0.05)
+
+    def test_dse_probe_reproducible(self, intel, intel_layout):
+        from repro.dse.explorer import measure_operating_point
+
+        points = [
+            measure_operating_point(
+                lambda: npb_model("is.C"), intel, intel_layout.make(E=4),
+                probe_s=0.3, seed=3,
+            )
+            for _ in range(2)
+        ]
+        assert points[0].utility == points[1].utility
+        assert points[0].power_w == points[1].power_w

@@ -1,0 +1,133 @@
+"""Tests for offline design-space exploration and profile I/O."""
+
+import pytest
+
+from repro.apps import npb_model
+from repro.core.resource_vector import ErvLayout
+from repro.dse.explorer import (
+    enumerate_erv_grid,
+    explore_application,
+    measure_full_run,
+    measure_operating_point,
+)
+from repro.dse.tables import load_application_profile, save_application_profile
+
+
+class TestGrid:
+    def test_grid_is_subset_of_space(self, intel_layout):
+        grid = enumerate_erv_grid(intel_layout)
+        space = set(intel_layout.enumerate_all())
+        assert grid
+        assert all(erv in space for erv in grid)
+
+    def test_grid_respects_max_points(self, intel_layout):
+        grid = enumerate_erv_grid(intel_layout, max_points=30)
+        assert len(grid) <= 30
+
+    def test_explicit_steps(self, intel_layout):
+        grid = enumerate_erv_grid(
+            intel_layout,
+            steps={"P1": [0], "P2": [0, 8], "E": [0, 16]},
+        )
+        wires = sorted(tuple(g.to_wire()) for g in grid)
+        assert wires == [(0, 0, 16), (0, 8, 0), (0, 8, 16)]
+
+    def test_grid_covers_corners(self, intel_layout):
+        grid = enumerate_erv_grid(intel_layout)
+        totals = [g.total_cores() for g in grid]
+        assert min(totals) <= 2
+        assert max(totals) == 24
+
+    def test_odroid_small_space_fully_enumerated(self, odroid_layout):
+        grid = enumerate_erv_grid(odroid_layout)
+        assert len(grid) == len(odroid_layout.enumerate_all())
+
+
+class TestMeasurement:
+    def test_probe_exact_on_single_p_core(self, intel, intel_layout):
+        point = measure_operating_point(
+            lambda: npb_model("ep.C"), intel, intel_layout.make(P1=1),
+            probe_s=0.5, sensor_noise=0.0, perf_noise=0.0,
+        )
+        # One P hardware thread: IPS = 1.0 work/s × 2.4e9 instr/work.
+        assert point.utility == pytest.approx(2.4e9, rel=0.05)
+        assert 0 < point.power_w < 40
+
+    def test_probe_utility_scales_with_cores(self, intel, intel_layout):
+        small = measure_operating_point(
+            lambda: npb_model("ep.C"), intel, intel_layout.make(P1=1),
+            probe_s=0.3, sensor_noise=0.0, perf_noise=0.0,
+        )
+        big = measure_operating_point(
+            lambda: npb_model("ep.C"), intel, intel_layout.make(P2=8),
+            probe_s=0.3, sensor_noise=0.0, perf_noise=0.0,
+        )
+        assert big.utility > 5 * small.utility
+
+    def test_memory_bound_app_flat_utility(self, intel, intel_layout):
+        few = measure_operating_point(
+            lambda: npb_model("mg.C"), intel, intel_layout.make(E=12),
+            probe_s=0.3, sensor_noise=0.0, perf_noise=0.0,
+        )
+        many = measure_operating_point(
+            lambda: npb_model("mg.C"), intel, intel_layout.make(P2=8, E=16),
+            probe_s=0.3, sensor_noise=0.0, perf_noise=0.0,
+        )
+        assert many.utility == pytest.approx(few.utility, rel=0.1)
+        assert many.power_w > 1.5 * few.power_w
+
+    def test_oversized_erv_rejected(self, intel, intel_layout):
+        from repro.core.resource_vector import ExtendedResourceVector
+
+        erv = ExtendedResourceVector(intel_layout, (9, 0, 0))
+        with pytest.raises(ValueError):
+            measure_operating_point(lambda: npb_model("ep.C"), intel, erv)
+
+    def test_full_run_reports_time_and_energy(self, intel, intel_layout):
+        point = measure_full_run(
+            lambda: npb_model("is.C"), intel, intel_layout.make(P2=8, E=16)
+        )
+        assert point.exec_time_s > 0
+        assert point.energy_j > 0
+        assert point.utility == pytest.approx(
+            npb_model("is.C").total_work / point.exec_time_s, rel=0.01
+        )
+
+
+class TestExploreApplication:
+    def test_explores_whole_grid(self, intel, intel_layout):
+        grid = enumerate_erv_grid(intel_layout, max_points=12)
+        result = explore_application(
+            lambda: npb_model("is.C"), intel, grid=grid, probe_s=0.2
+        )
+        assert len(result.points) == len(grid)
+        assert all(p.utility > 0 for p in result.points)
+
+    def test_to_table(self, intel, intel_layout):
+        grid = enumerate_erv_grid(intel_layout, max_points=6)
+        result = explore_application(
+            lambda: npb_model("is.C"), intel, grid=grid, probe_s=0.2
+        )
+        table = result.to_table(intel_layout)
+        assert table.measured_count() == len(grid)
+        assert table.app_name == "is.C"
+
+
+class TestProfileIO:
+    def test_round_trip(self, intel, intel_layout, tmp_path):
+        grid = enumerate_erv_grid(intel_layout, max_points=5)
+        result = explore_application(
+            lambda: npb_model("is.C"), intel, grid=grid, probe_s=0.2
+        )
+        table = result.to_table(intel_layout)
+        path = tmp_path / "is.C.json"
+        save_application_profile(table, path, platform_name=intel.name)
+        loaded = load_application_profile(path, intel_layout)
+        assert loaded.app_name == "is.C"
+        assert loaded.measured_count() == table.measured_count()
+
+    def test_bad_schema_rejected(self, intel_layout, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 0, "table": {}}')
+        with pytest.raises(ValueError):
+            load_application_profile(path, intel_layout)

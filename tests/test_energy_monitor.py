@@ -1,0 +1,170 @@
+"""Tests for energy attribution (Eq. 3) and the monitoring pipeline."""
+
+import pytest
+
+from repro.core.energy import EnergyAttributor, default_gammas
+from repro.core.monitor import ExponentialMovingAverage, SystemMonitor
+from repro.platform.dvfs import make_governor
+from repro.sim.engine import World
+from repro.sim.schedulers.cfs import CfsScheduler
+from repro.apps import npb_model
+
+
+class TestGammas:
+    def test_e_core_is_reference(self, intel):
+        gammas = default_gammas(intel)
+        assert gammas["E"] == pytest.approx(1.0)
+        assert gammas["P"] == pytest.approx(15.0 / 3.8)
+
+    def test_odroid_gammas(self, odroid):
+        gammas = default_gammas(odroid)
+        assert gammas["LITTLE"] == pytest.approx(1.0)
+        assert gammas["big"] > 4.0
+
+
+class TestAttribution:
+    def test_eq3_single_type(self, intel):
+        att = EnergyAttributor(intel)
+        power = att.split_by_type(100.0, {"P": 10.0, "E": 0.0})
+        # All energy on P-cores: P_P * 10 s must equal 100 J.
+        assert power["P"] * 10.0 == pytest.approx(100.0)
+
+    def test_eq3_mixed_types_preserves_gamma_ratio(self, intel):
+        att = EnergyAttributor(intel)
+        power = att.split_by_type(100.0, {"P": 5.0, "E": 5.0})
+        assert power["P"] / power["E"] == pytest.approx(att.gammas["P"])
+
+    def test_eq3_total_energy_conserved(self, intel):
+        att = EnergyAttributor(intel)
+        busy = {"P": 3.0, "E": 7.0}
+        power = att.split_by_type(42.0, busy)
+        total = sum(power[t] * busy[t] for t in busy)
+        assert total == pytest.approx(42.0)
+
+    def test_attribute_splits_by_cpu_time(self, intel):
+        att = EnergyAttributor(intel)
+        interval = 1.0
+        energy = att.dynamic_energy(100.0, interval) + att._idle_power * interval
+        samples = att.attribute(
+            energy,
+            interval,
+            {"P": 1.0, "E": 1.0},
+            {1: {"P": 1.0}, 2: {"E": 1.0}},
+        )
+        assert samples[1].energy_j / samples[2].energy_j == pytest.approx(
+            att.gammas["P"]
+        )
+
+    def test_dynamic_energy_subtracts_idle_floor(self, intel):
+        att = EnergyAttributor(intel)
+        assert att.dynamic_energy(att._idle_power * 2.0, 2.0) == pytest.approx(0.0)
+
+    def test_zero_busy_time(self, intel):
+        att = EnergyAttributor(intel)
+        assert att.split_by_type(10.0, {"P": 0.0, "E": 0.0}) == {"P": 0.0, "E": 0.0}
+
+    def test_missing_gamma_rejected(self, intel):
+        with pytest.raises(ValueError):
+            EnergyAttributor(intel, gammas={"P": 2.0})
+
+    def test_nonpositive_gamma_rejected(self, intel):
+        with pytest.raises(ValueError):
+            EnergyAttributor(intel, gammas={"P": 2.0, "E": 0.0})
+
+    def test_accuracy_against_ground_truth(self, intel):
+        """End-to-end attribution lands within ~15 % of engine truth."""
+        world = World(
+            intel, CfsScheduler(),
+            governor=make_governor("performance", intel), seed=3,
+        )
+        att = EnergyAttributor(intel)
+        p1 = world.spawn(npb_model("ep.C"))
+        p2 = world.spawn(npb_model("mg.C"))
+        start_e = world.total_energy_j()
+        world.run_for(3.0)
+        energy = world.total_energy_j() - start_e
+        samples = att.attribute(
+            energy,
+            3.0,
+            dict(world.busy_time_by_type_s),
+            {
+                p1.pid: dict(p1.cpu_time_by_type),
+                p2.pid: dict(p2.cpu_time_by_type),
+            },
+        )
+        for proc in (p1, p2):
+            true = proc.energy_true_j
+            est = samples[proc.pid].energy_j
+            assert est == pytest.approx(true, rel=0.25)
+
+
+class TestEma:
+    def test_first_sample_initializes(self):
+        ema = ExponentialMovingAverage(0.1)
+        assert ema.update(10.0) == 10.0
+
+    def test_paper_alpha(self):
+        ema = ExponentialMovingAverage(0.1)
+        ema.update(0.0)
+        assert ema.update(10.0) == pytest.approx(1.0)
+
+    def test_converges(self):
+        ema = ExponentialMovingAverage(0.1)
+        for _ in range(300):
+            ema.update(5.0)
+        assert ema.value == pytest.approx(5.0)
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage()
+        ema.update(1.0)
+        ema.reset()
+        assert ema.value is None
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(0.0)
+
+
+class TestSystemMonitor:
+    def test_interval_sampling(self, intel):
+        world = World(
+            intel, CfsScheduler(),
+            governor=make_governor("performance", intel),
+            seed=0, sensor_noise=0.0, perf_noise=0.0,
+        )
+        monitor = SystemMonitor(world, EnergyAttributor(intel))
+        proc = world.spawn(npb_model("ep.C"), nthreads=8)
+        world.run_for(0.05)
+        first = monitor.sample([proc.pid])
+        world.run_for(0.05)
+        second = monitor.sample([proc.pid])
+        assert proc.pid in second
+        sample = second[proc.pid]
+        assert sample.utility > 0
+        assert sample.power_w > 0
+        assert sample.utility_source == "ips"
+
+    def test_app_provided_utility_wins(self, intel):
+        world = World(intel, CfsScheduler(), seed=0)
+        monitor = SystemMonitor(world, EnergyAttributor(intel))
+        proc = world.spawn(npb_model("ep.C"), nthreads=4)
+        world.run_for(0.05)
+        monitor.sample([proc.pid])
+        world.run_for(0.05)
+        samples = monitor.sample([proc.pid], app_utilities={proc.pid: 123.0})
+        assert samples[proc.pid].utility == 123.0
+        assert samples[proc.pid].utility_source == "app"
+
+    def test_forget_clears_state(self, intel):
+        world = World(intel, CfsScheduler(), seed=0)
+        monitor = SystemMonitor(world, EnergyAttributor(intel))
+        proc = world.spawn(npb_model("ep.C"), nthreads=2)
+        world.run_for(0.05)
+        monitor.sample([proc.pid])
+        monitor.forget(proc.pid)
+        assert proc.pid not in monitor._last_cpu
+
+    def test_unknown_pid_ignored(self, intel):
+        world = World(intel, CfsScheduler(), seed=0)
+        monitor = SystemMonitor(world, EnergyAttributor(intel))
+        assert monitor.sample([999]) == {}

@@ -1,0 +1,103 @@
+"""Smoke tests for the per-figure experiment harness (small scales)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    energy_attribution,
+    fig1_config_space,
+    fig5_regression,
+    fig6_raptor_lake,
+    fig8_learning,
+    offline_points_for,
+    overhead_experiment,
+)
+
+
+class TestFig1:
+    def test_rows_and_pareto_flags(self):
+        result = fig1_config_space(apps=("is.C",), e_step=8, ht_step=8)
+        rows = result["is.C"]
+        assert rows
+        assert any(r["pareto"] for r in rows)
+        for row in rows:
+            assert row["time_s"] > 0 and row["energy_j"] > 0
+
+    def test_mg_pareto_front_avoids_big_configs(self):
+        result = fig1_config_space(apps=("mg.C",), e_step=4, ht_step=4)
+        front = [r for r in result["mg.C"] if r["pareto"]]
+        # The memory-bound kernel's front never includes the full machine.
+        assert all(
+            not (r["e_cores"] == 16 and r["p_hyperthreads"] == 16)
+            for r in front
+        )
+
+
+class TestFig5:
+    def test_poly2_converges_with_20_points(self):
+        rows = fig5_regression(
+            apps=["is.C", "mg.C"], models=("poly1", "poly2"),
+            train_sizes=(20,), n_seeds=2, grid_points=50, probe_s=0.3,
+        )
+        poly2 = next(r for r in rows if r["model"] == "poly2")
+        assert poly2["mape_ips"] < 25.0
+        assert poly2["common_ratio"] > 0.5
+
+    def test_row_schema(self):
+        rows = fig5_regression(
+            apps=["is.C"], models=("poly1",), train_sizes=(10,),
+            n_seeds=1, grid_points=40, probe_s=0.3,
+        )
+        assert set(rows[0]) == {
+            "model", "train_size", "mape_ips", "mape_power", "igd",
+            "common_ratio",
+        }
+
+
+class TestFig6:
+    def test_quick_subset(self):
+        cmp = fig6_raptor_lake(
+            single_apps=["mg.C"], multi_scenarios=[],
+            policies=("itd", "harp"), rounds=1, seed=0,
+        )
+        policies = {r["policy"] for r in cmp.rows}
+        assert policies == {"itd", "harp"}
+        harp = next(r for r in cmp.rows if r["policy"] == "harp")
+        assert harp["energy_factor"] > 1.0
+
+    def test_geomeans_grouping(self):
+        cmp = fig6_raptor_lake(
+            single_apps=["is.C"], multi_scenarios=[],
+            policies=("itd",), rounds=1, seed=0,
+        )
+        means = cmp.geomeans()
+        assert ("itd", "single") in means
+
+
+class TestOverheadAndAttribution:
+    def test_overhead_small(self):
+        rows = overhead_experiment(scenarios=[["mg.C"]], rounds=1)
+        assert abs(rows[0]["overhead_pct"]) < 5.0
+
+    def test_attribution_mape_in_paper_ballpark(self):
+        result = energy_attribution(scenarios=[["ep.C", "mg.C"]])
+        assert result["mape_pct"] is not None
+        assert 0.5 < result["mape_pct"] < 25.0
+
+
+class TestOfflineCache:
+    def test_offline_points_cached(self):
+        a = offline_points_for(["is.C"], probe_s=0.2, max_points=10)
+        b = offline_points_for(["is.C"], probe_s=0.2, max_points=10)
+        assert a["is.C"] is b["is.C"]
+
+
+@pytest.mark.slow
+class TestFig8:
+    def test_learning_trajectory(self):
+        result = fig8_learning(
+            scenarios=[["mg.C"]], snapshot_interval_s=5.0,
+            max_learning_s=60.0, rounds=1,
+        )
+        scenario = result["scenarios"][0]
+        assert scenario["trajectory"]
+        assert scenario["stable_at_s"]

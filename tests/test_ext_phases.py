@@ -1,0 +1,143 @@
+"""Tests for the execution-stage detection extension (§7 outlook, item 2)."""
+
+import pytest
+
+from repro.apps.base import Balancing
+from repro.core.manager import ManagerConfig
+from repro.ext.phases import (
+    Phase,
+    PhaseAwareManager,
+    PhaseChangeDetector,
+    PhasedApplicationModel,
+)
+from repro.platform.dvfs import make_governor
+from repro.sim.engine import World
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+
+def _two_phase_app(total_work=60.0):
+    """Compute-bound first half, strongly memory-bound second half."""
+    return PhasedApplicationModel(
+        name="phased",
+        total_work=total_work,
+        balancing=Balancing.DYNAMIC,
+        phases=[
+            Phase(work_fraction=0.5, serial_fraction=0.005,
+                  ips_per_work=2.2e9, power_intensity=1.1),
+            Phase(work_fraction=0.5, serial_fraction=0.01,
+                  mem_bw_cap=4.0, ips_per_work=0.8e9, power_intensity=0.8),
+        ],
+    )
+
+
+class TestPhasedModel:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            PhasedApplicationModel(name="x", total_work=1.0, phases=[])
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PhasedApplicationModel(
+                name="x", total_work=1.0,
+                phases=[Phase(work_fraction=0.4), Phase(work_fraction=0.4)],
+            )
+
+    def test_phase_at_boundaries(self):
+        model = _two_phase_app(total_work=10.0)
+        assert model.phase_at(0.0) is model.phases[0]
+        assert model.phase_at(4.9) is model.phases[0]
+        assert model.phase_at(5.1) is model.phases[1]
+        assert model.phase_at(10.0) is model.phases[1]
+
+    def test_behaviour_switches_mid_run(self, intel):
+        world = World(intel, PinnedScheduler(), seed=0,
+                      sensor_noise=0.0, perf_noise=0.0)
+        proc = world.spawn(_two_phase_app(), nthreads=32)
+        # Phase 1: compute-bound, fast.
+        world.run_for(1.0)
+        rate_phase1 = proc.work_done
+        # Drive into phase 2.
+        while proc.work_done < proc.model.total_work * 0.55:
+            world.step()
+        before = proc.work_done
+        world.run_for(1.0)
+        rate_phase2 = proc.work_done - before
+        # The memory-bound phase is much slower on the full machine.
+        assert rate_phase2 < 0.5 * rate_phase1
+
+    def test_attributes_restored_after_perf(self, intel):
+        model = _two_phase_app()
+        world = World(intel, PinnedScheduler(), seed=0)
+        world.spawn(model, nthreads=4)
+        world.step()
+        # The temporary phase override must not leak.
+        assert model.mem_bw_cap is None or model.mem_bw_cap == 4.0
+        assert model.serial_fraction in (0.005, 0.01)
+
+
+class TestDetector:
+    def test_steady_stream_never_fires(self):
+        det = PhaseChangeDetector()
+        for _ in range(100):
+            assert not det.observe("cfg", 10.0, 5.0)
+
+    def test_small_noise_tolerated(self):
+        import numpy as np
+
+        det = PhaseChangeDetector(threshold=0.35)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert not det.observe(
+                "cfg", 10.0 * (1 + rng.normal(0, 0.05)),
+                5.0 * (1 + rng.normal(0, 0.05)),
+            )
+
+    def test_sustained_shift_detected(self):
+        det = PhaseChangeDetector(threshold=0.35, patience=4)
+        for _ in range(20):
+            det.observe("cfg", 10.0, 5.0)
+        fired = [det.observe("cfg", 3.0, 5.0) for _ in range(12)]
+        assert any(fired)
+
+    def test_single_outlier_ignored(self):
+        det = PhaseChangeDetector(patience=4)
+        for _ in range(20):
+            det.observe("cfg", 10.0, 5.0)
+        assert not det.observe("cfg", 1.0, 5.0)
+        for _ in range(10):
+            assert not det.observe("cfg", 10.0, 5.0)
+
+    def test_reconfiguration_resets_baseline(self):
+        det = PhaseChangeDetector(patience=2)
+        for _ in range(10):
+            det.observe("cfg-a", 10.0, 5.0)
+        # New configuration: wildly different values are legitimate.
+        fired = [det.observe("cfg-b", 50.0, 20.0) for _ in range(10)]
+        assert not any(fired)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseChangeDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseChangeDetector(patience=0)
+
+
+class TestPhaseAwareManager:
+    def test_detects_stage_and_restarts_exploration(self, intel):
+        world = World(
+            intel, PinnedScheduler(),
+            governor=make_governor("powersave", intel), seed=4,
+        )
+        manager = PhaseAwareManager(world, ManagerConfig(startup_delay_s=0.05))
+        world.spawn(_two_phase_app(total_work=120.0), managed=True)
+        world.run_until_all_finished(max_seconds=600)
+        assert manager.phase_changes.get("phased", 0) >= 1
+        # A per-stage table was created.
+        assert any("#stage" in key for key in manager.table_store)
+
+    def test_plain_manager_has_no_phase_state(self, intel):
+        from repro.core.manager import HarpManager
+
+        world = World(intel, PinnedScheduler(), seed=0)
+        manager = HarpManager(world, ManagerConfig())
+        assert not hasattr(manager, "phase_changes")

@@ -1,0 +1,59 @@
+"""Regression guards for the paper's headline results.
+
+These pin the qualitative outcomes the reproduction must preserve; if a
+calibration or allocator change breaks one of them, the corresponding
+figure would silently lose its shape.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import run_scenario
+
+
+@pytest.fixture(scope="module")
+def ep_mg_results():
+    base = run_scenario(["ep.C", "mg.C"], policy="cfs", rounds=1, seed=0)
+    harp = run_scenario(["ep.C", "mg.C"], policy="harp", rounds=1, seed=0)
+    return base, harp
+
+
+class TestHeadlines:
+    def test_multi_app_energy_improves(self, ep_mg_results):
+        base, harp = ep_mg_results
+        assert base.energy_j / harp.energy_j > 1.2
+
+    def test_multi_app_time_not_degraded(self, ep_mg_results):
+        base, harp = ep_mg_results
+        assert base.makespan_s / harp.makespan_s > 0.85
+
+    def test_memory_bound_single_energy_win(self):
+        base = run_scenario(["mg.C"], policy="cfs", rounds=1, seed=1)
+        harp = run_scenario(["mg.C"], policy="harp", rounds=1, seed=1)
+        assert base.energy_j / harp.energy_j > 1.5
+
+    def test_binpack_contention_outlier(self):
+        base = run_scenario(["binpack"], policy="cfs", rounds=1, seed=1)
+        harp = run_scenario(["binpack"], policy="harp", rounds=1, seed=1)
+        assert base.makespan_s / harp.makespan_s > 2.0
+
+    def test_no_scaling_collapses(self):
+        base = run_scenario(["ep.C", "mg.C"], policy="cfs", rounds=1, seed=0)
+        noscale = run_scenario(["ep.C", "mg.C"], policy="harp-noscaling",
+                               rounds=1, seed=0)
+        assert base.makespan_s / noscale.makespan_s < 0.9
+
+    def test_itd_near_baseline_for_singles(self):
+        base = run_scenario(["ep.C"], policy="cfs", rounds=1, seed=0)
+        itd = run_scenario(["ep.C"], policy="itd", rounds=1, seed=0)
+        assert base.makespan_s / itd.makespan_s == pytest.approx(1.0, abs=0.1)
+
+    def test_stable_time_in_paper_ballpark(self):
+        harp = run_scenario(["mg.C"], policy="harp", rounds=1, seed=1)
+        # Paper: 29.8 ± 5.9 s for singles.
+        assert 10.0 < harp.stable_at_s["mg.C"] < 60.0
+
+    def test_seed_robustness_of_energy_win(self):
+        for seed in (2, 3):
+            base = run_scenario(["mg.C"], policy="cfs", rounds=1, seed=seed)
+            harp = run_scenario(["mg.C"], policy="harp", rounds=1, seed=seed)
+            assert base.energy_j / harp.energy_j > 1.3

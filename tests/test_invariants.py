@@ -1,0 +1,176 @@
+"""Cross-cutting invariants of the simulation and management stack.
+
+Property-based checks that hold for arbitrary workloads and schedules:
+energy conservation bounds, CPU-time accounting, placement legality,
+progress monotonicity, and protocol totality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import ApplicationModel, Balancing
+from repro.core.energy import EnergyAttributor
+from repro.ipc.messages import ProtocolViolation, decode_message
+from repro.ipc.protocol import FrameCodec, ProtocolError
+from repro.platform.dvfs import make_governor
+from repro.platform.power import PlatformPowerModel
+from repro.platform.topology import odroid_xu3e, raptor_lake_i9_13900k
+from repro.sim.engine import World
+from repro.sim.schedulers.cfs import CfsScheduler
+from repro.sim.schedulers.eas import EasScheduler
+from repro.sim.schedulers.itd import ItdScheduler
+
+
+_app_params = st.fixed_dictionaries(
+    {
+        "total_work": st.floats(0.5, 50.0),
+        "serial_fraction": st.floats(0.0, 0.5),
+        "balancing": st.sampled_from([Balancing.DYNAMIC, Balancing.STATIC]),
+        "mem_bw_cap": st.one_of(st.none(), st.floats(0.5, 20.0)),
+        "spin_ips_rate": st.sampled_from([0.0, 1e9]),
+        "power_intensity": st.floats(0.8, 1.2),
+    }
+)
+
+
+def _make_world(scheduler_cls, platform_factory, seed):
+    platform = platform_factory()
+    return World(
+        platform,
+        scheduler_cls(),
+        governor=make_governor("performance", platform),
+        seed=seed,
+        sensor_noise=0.0,
+        perf_noise=0.0,
+    )
+
+
+class TestEngineInvariants:
+    @given(
+        st.lists(_app_params, min_size=1, max_size=3),
+        st.sampled_from([CfsScheduler, EasScheduler, ItdScheduler]),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_energy_between_idle_and_max(self, apps, scheduler_cls, seed):
+        world = _make_world(scheduler_cls, raptor_lake_i9_13900k, seed)
+        power_model = PlatformPowerModel(world.platform)
+        for i, params in enumerate(apps):
+            world.spawn(ApplicationModel(name=f"app{i}", **params),
+                        nthreads=4)
+        world.run_for(0.3)
+        energy = world.total_energy_j()
+        # Power-intensity and superlinearity factors stay within ±30 %.
+        assert energy >= power_model.idle_power() * 0.3 * 0.6
+        assert energy <= power_model.max_power() * 0.3 * 1.3
+
+    @given(
+        st.lists(_app_params, min_size=1, max_size=3),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cpu_time_bounded_by_hw_threads(self, apps, seed):
+        world = _make_world(CfsScheduler, raptor_lake_i9_13900k, seed)
+        procs = [
+            world.spawn(ApplicationModel(name=f"app{i}", **params), nthreads=8)
+            for i, params in enumerate(apps)
+        ]
+        duration = 0.3
+        world.run_for(duration)
+        total_cpu = sum(
+            sum(p.cpu_time_by_type.values()) for p in procs
+        )
+        assert total_cpu <= duration * world.platform.n_hw_threads + 1e-6
+        for proc in procs:
+            own = sum(proc.cpu_time_by_type.values())
+            assert own <= duration * proc.nthreads + 1e-6
+
+    @given(st.lists(_app_params, min_size=1, max_size=2), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_progress_monotone_and_bounded(self, apps, seed):
+        world = _make_world(CfsScheduler, raptor_lake_i9_13900k, seed)
+        procs = [
+            world.spawn(ApplicationModel(name=f"app{i}", **params), nthreads=4)
+            for i, params in enumerate(apps)
+        ]
+        previous = [0.0] * len(procs)
+        for _ in range(30):
+            world.step()
+            for i, proc in enumerate(procs):
+                assert proc.work_done >= previous[i] - 1e-12
+                assert proc.work_done <= proc.model.total_work + 1e-9
+                previous[i] = proc.work_done
+
+    @given(
+        st.sampled_from([CfsScheduler, EasScheduler, ItdScheduler]),
+        st.integers(1, 40),
+        st.sampled_from([raptor_lake_i9_13900k, odroid_xu3e]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_placements_always_legal(self, scheduler_cls, nthreads, platform_factory):
+        world = _make_world(scheduler_cls, platform_factory, 0)
+        world.spawn(
+            ApplicationModel(name="x", total_work=100.0), nthreads=nthreads
+        )
+        placement = world.scheduler.place(world)
+        hw_ids = {t.thread_id for t in world.platform.hw_threads}
+        assert set(placement.values()) <= hw_ids
+        # Every active thread is placed.
+        assert len(placement) == nthreads
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_attribution_conserves_dynamic_energy(self, seed):
+        """Attributed energies sum to the interval's dynamic energy."""
+        world = _make_world(CfsScheduler, raptor_lake_i9_13900k, seed)
+        procs = [
+            world.spawn(ApplicationModel(name=f"a{i}", total_work=1e6), nthreads=16)
+            for i in range(2)
+        ]
+        world.run_for(0.2)
+        attributor = EnergyAttributor(world.platform)
+        energy = world.total_energy_j()
+        samples = attributor.attribute(
+            energy, 0.2, dict(world.busy_time_by_type_s),
+            {p.pid: dict(p.cpu_time_by_type) for p in procs},
+        )
+        attributed = sum(s.energy_j for s in samples.values())
+        dynamic = attributor.dynamic_energy(energy, 0.2)
+        # All busy time belongs to the two processes, so attribution is
+        # exhaustive up to rounding.
+        assert attributed == pytest.approx(dynamic, rel=1e-6)
+
+
+class TestProtocolTotality:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_decoder_never_crashes_on_junk(self, junk):
+        try:
+            FrameCodec.decode(junk)
+        except ProtocolError:
+            pass  # rejection is the expected failure mode
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=10),
+            st.one_of(st.integers(), st.text(max_size=10), st.booleans()),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_message_decoder_total_on_dicts(self, data):
+        try:
+            decode_message(data)
+        except ProtocolViolation:
+            pass
+
+    @given(st.sampled_from(["register", "activate", "utility_reply", "ack"]),
+           st.integers(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_partially_valid_messages_rejected_cleanly(self, tag, pid):
+        try:
+            decode_message({"type": tag, "pid": pid, "unexpected": "field"})
+        except ProtocolViolation:
+            pass

@@ -1,0 +1,117 @@
+"""Tests for the perf substrate and simulated processes."""
+
+import pytest
+
+from repro.apps import npb_model
+from repro.sim.perf import IntervalReader, PerfCounters
+from repro.sim.process import SimProcess, SimThread, ThreadId
+
+
+class TestPerfCounters:
+    def test_accumulate_and_read(self):
+        perf = PerfCounters(noise_std=0.0)
+        perf.accumulate(1, ips=1e9, dt_s=0.5, cpu_time_s=0.4)
+        assert perf.read_instructions(1) == pytest.approx(5e8)
+        assert perf.read_cpu_time(1) == pytest.approx(0.4)
+
+    def test_unknown_pid_zero(self):
+        perf = PerfCounters()
+        assert perf.read_instructions(9) == 0.0
+
+    def test_drop(self):
+        perf = PerfCounters()
+        perf.accumulate(1, 1e9, 0.1, 0.1)
+        perf.drop(1)
+        assert perf.read_instructions(1) == 0.0
+
+    def test_negative_rejected(self):
+        perf = PerfCounters()
+        with pytest.raises(ValueError):
+            perf.accumulate(1, -1.0, 0.1, 0.1)
+
+    def test_noisy_rate_close(self):
+        perf = PerfCounters(noise_std=0.02, seed=0)
+        rates = [perf.noisy_rate(1e9) for _ in range(200)]
+        mean = sum(rates) / len(rates)
+        assert mean == pytest.approx(1e9, rel=0.01)
+
+    def test_interval_reader_first_sample_none(self):
+        perf = PerfCounters(noise_std=0.0)
+        reader = IntervalReader(perf)
+        assert reader.sample_ips(1, 0.0) is None
+
+    def test_interval_reader_derives_rate(self):
+        perf = PerfCounters(noise_std=0.0)
+        reader = IntervalReader(perf)
+        reader.sample_ips(1, 0.0)
+        perf.accumulate(1, ips=2e9, dt_s=0.05, cpu_time_s=0.05)
+        rate = reader.sample_ips(1, 0.05)
+        assert rate == pytest.approx(2e9)
+
+    def test_interval_reader_zero_interval(self):
+        perf = PerfCounters(noise_std=0.0)
+        reader = IntervalReader(perf)
+        reader.sample_ips(1, 1.0)
+        assert reader.sample_ips(1, 1.0) is None
+
+
+class TestSimThread:
+    def test_pelt_rises_under_load(self):
+        thread = SimThread(tid=ThreadId(1, 0))
+        for _ in range(100):
+            thread.update_utilization(1.0, 0.01)
+        assert thread.utilization > 0.85
+
+    def test_pelt_decays_when_idle(self):
+        thread = SimThread(tid=ThreadId(1, 0), utilization=1.0)
+        for _ in range(100):
+            thread.update_utilization(0.0, 0.01)
+        assert thread.utilization < 0.15
+
+    def test_pelt_halflife(self):
+        thread = SimThread(tid=ThreadId(1, 0), utilization=1.0)
+        thread.update_utilization(0.0, 0.032)
+        assert thread.utilization == pytest.approx(0.5)
+
+
+class TestSimProcess:
+    def test_thread_sync_on_resize(self):
+        proc = SimProcess(pid=1, model=npb_model("ep.C"), nthreads=4)
+        assert len(proc.threads) == 4
+        proc.set_nthreads(2)
+        assert len(proc.threads) == 2
+        proc.set_nthreads(6)
+        assert len(proc.threads) == 6
+        assert [t.tid.tidx for t in proc.threads] == list(range(6))
+
+    def test_invalid_nthreads(self):
+        proc = SimProcess(pid=1, model=npb_model("ep.C"), nthreads=4)
+        with pytest.raises(ValueError):
+            proc.set_nthreads(0)
+        with pytest.raises(ValueError):
+            SimProcess(pid=1, model=npb_model("ep.C"), nthreads=0)
+
+    def test_empty_affinity_rejected(self):
+        proc = SimProcess(pid=1, model=npb_model("ep.C"), nthreads=1)
+        with pytest.raises(ValueError):
+            proc.set_affinity(frozenset())
+
+    def test_progress_fraction(self):
+        model = npb_model("ep.C")
+        proc = SimProcess(pid=1, model=model, nthreads=1)
+        proc.work_done = model.total_work / 2
+        assert proc.progress_fraction() == pytest.approx(0.5)
+        assert proc.remaining_work() == pytest.approx(model.total_work / 2)
+
+    def test_elapsed(self):
+        proc = SimProcess(pid=1, model=npb_model("ep.C"), nthreads=1,
+                          start_time_s=2.0)
+        assert proc.elapsed_s(5.0) == 3.0
+        proc.finished = True
+        proc.finish_time_s = 4.0
+        assert proc.elapsed_s(100.0) == 2.0
+
+    def test_active_threads_empty_after_finish(self):
+        proc = SimProcess(pid=1, model=npb_model("ep.C"), nthreads=4)
+        proc.finished = True
+        assert proc.active_threads == []

@@ -1,0 +1,69 @@
+"""Tests for DVFS governors."""
+
+import pytest
+
+from repro.platform.dvfs import (
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+
+
+class TestPerformanceGovernor:
+    def test_always_max(self, intel):
+        gov = PerformanceGovernor(intel)
+        core = intel.cores[0]
+        assert gov.select_freq(core, 0.0) == core.core_type.max_freq_mhz
+        assert gov.select_freq(core, 1.0) == core.core_type.max_freq_mhz
+
+
+class TestSchedutilGovernor:
+    def test_full_utilization_hits_max(self, odroid):
+        gov = SchedutilGovernor(odroid)
+        core = odroid.cores[0]
+        assert gov.select_freq(core, 1.0) == core.core_type.max_freq_mhz
+
+    def test_idle_clamps_to_min(self, odroid):
+        gov = SchedutilGovernor(odroid)
+        core = odroid.cores[0]
+        assert gov.select_freq(core, 0.0) == core.core_type.min_freq_mhz
+
+    def test_headroom_formula(self, odroid):
+        gov = SchedutilGovernor(odroid)
+        core = odroid.cores[0]
+        freq = gov.select_freq(core, 0.4)
+        assert freq == pytest.approx(1.25 * core.core_type.max_freq_mhz * 0.4)
+
+    def test_utilization_out_of_range_rejected(self, odroid):
+        gov = SchedutilGovernor(odroid)
+        with pytest.raises(ValueError):
+            gov.select_freq(odroid.cores[0], 1.5)
+
+
+class TestPowersaveGovernor:
+    def test_less_aggressive_than_schedutil(self, intel):
+        powersave = PowersaveGovernor(intel)
+        schedutil = SchedutilGovernor(intel)
+        core = intel.cores[0]
+        assert powersave.select_freq(core, 0.5) < schedutil.select_freq(core, 0.5)
+
+    def test_saturates_at_max(self, intel):
+        gov = PowersaveGovernor(intel)
+        core = intel.cores[0]
+        assert gov.select_freq(core, 1.0) == core.core_type.max_freq_mhz
+
+
+class TestGovernorFactory:
+    @pytest.mark.parametrize("name", ["performance", "powersave", "schedutil"])
+    def test_known_names(self, intel, name):
+        assert make_governor(name, intel).name == name
+
+    def test_unknown_name_rejected(self, intel):
+        with pytest.raises(ValueError):
+            make_governor("ondemand", intel)
+
+    def test_select_all_covers_every_core(self, intel):
+        gov = make_governor("performance", intel)
+        freqs = gov.select_all({})
+        assert set(freqs) == {c.core_id for c in intel.cores}

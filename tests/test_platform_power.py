@@ -1,0 +1,102 @@
+"""Tests for the power models."""
+
+import pytest
+
+from repro.platform.power import CorePowerModel, PlatformPowerModel
+
+
+@pytest.fixture
+def p_model(intel):
+    return CorePowerModel(intel.core_type("P"))
+
+
+@pytest.fixture
+def e_model(intel):
+    return CorePowerModel(intel.core_type("E"))
+
+
+class TestCorePowerModel:
+    def test_idle_power(self, p_model):
+        assert p_model.power(0) == pytest.approx(0.35)
+
+    def test_one_thread_full_activity(self, p_model):
+        assert p_model.power(1) == pytest.approx(0.35 + 15.0)
+
+    def test_second_smt_thread_adds_increment(self, p_model):
+        assert p_model.power(2) == pytest.approx(0.35 + 15.0 + 2.6)
+
+    def test_activity_scales_active_power(self, p_model):
+        assert p_model.power(1, activity=0.5) == pytest.approx(0.35 + 7.5)
+
+    def test_zero_activity_is_idle(self, p_model):
+        assert p_model.power(1, activity=0.0) == pytest.approx(0.35)
+
+    def test_power_drops_superlinearly_with_frequency(self, p_model):
+        full = p_model.power(1)
+        half = p_model.power(1, freq_mhz=2300)
+        # Cubic scaling with a leakage floor: far less than linear.
+        assert half < 0.5 * full
+
+    def test_leakage_floor_at_min_frequency(self, p_model):
+        low = p_model.power(1, freq_mhz=800)
+        assert low > p_model.core_type.idle_power_w
+
+    def test_too_many_threads_rejected(self, e_model):
+        with pytest.raises(ValueError):
+            e_model.power(2)
+
+    def test_bad_activity_rejected(self, p_model):
+        with pytest.raises(ValueError):
+            p_model.power(1, activity=1.5)
+
+    def test_e_core_cheaper_than_p_core(self, p_model, e_model):
+        assert e_model.power(1) < p_model.power(1)
+
+
+class TestPowerFractional:
+    def test_empty_is_idle(self, p_model):
+        assert p_model.power_fractional([]) == pytest.approx(0.35)
+
+    def test_matches_integer_busy_at_full_fractions(self, p_model):
+        assert p_model.power_fractional([1.0, 1.0]) == pytest.approx(
+            p_model.power(2)
+        )
+
+    def test_half_busy_single_thread(self, p_model):
+        assert p_model.power_fractional([0.5]) == pytest.approx(0.35 + 7.5)
+
+    def test_largest_fraction_draws_primary_power(self, p_model):
+        # The busier thread pays the full active rate; the sibling only
+        # the SMT increment.
+        power = p_model.power_fractional([0.5, 1.0])
+        assert power == pytest.approx(0.35 + 15.0 + 2.6 * 0.5)
+
+    def test_fractions_clamped(self, p_model):
+        assert p_model.power_fractional([2.0]) == pytest.approx(0.35 + 15.0)
+
+    def test_too_many_fractions_rejected(self, e_model):
+        with pytest.raises(ValueError):
+            e_model.power_fractional([0.5, 0.5])
+
+
+class TestPlatformPowerModel:
+    def test_idle_power_sums_cores_and_uncore(self, intel):
+        model = PlatformPowerModel(intel)
+        expected = 9.0 + 8 * 0.35 + 16 * 0.12
+        assert model.idle_power() == pytest.approx(expected)
+
+    def test_max_power_realistic_for_13900k(self, intel):
+        model = PlatformPowerModel(intel)
+        # All-core load on a 13900K draws roughly 200-300 W.
+        assert 150 < model.max_power() < 320
+
+    def test_package_power_partial_load(self, intel):
+        model = PlatformPowerModel(intel)
+        busy = {0: 2, 8: 1}  # one P core fully, one E core
+        power = model.package_power(busy)
+        assert model.idle_power() < power < model.max_power()
+
+    def test_odroid_max_power_realistic(self, odroid):
+        model = PlatformPowerModel(odroid)
+        # The XU3 board's CPU domains peak at a handful of watts.
+        assert 4 < model.max_power() < 12

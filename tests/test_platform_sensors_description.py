@@ -1,0 +1,83 @@
+"""Tests for energy sensors and hardware description files."""
+
+import pytest
+
+from repro.platform.description import (
+    HardwareDescription,
+    load_hardware_description,
+    platform_from_description,
+    save_hardware_description,
+)
+from repro.platform.sensors import EnergySensor, IslandSensor, RaplPackageSensor
+
+
+class TestEnergySensor:
+    def test_monotonic_accumulation(self):
+        sensor = EnergySensor("test", noise_std=0.0)
+        sensor.accumulate(10.0, 1.0)
+        sensor.accumulate(5.0, 2.0)
+        assert sensor.read_energy_j() == pytest.approx(20.0)
+
+    def test_noise_zero_is_exact(self):
+        sensor = EnergySensor("test", noise_std=0.0, seed=1)
+        sensor.accumulate(100.0, 0.5)
+        assert sensor.read_energy_j() == pytest.approx(50.0)
+
+    def test_noise_stays_close(self):
+        sensor = EnergySensor("test", noise_std=0.01, seed=42)
+        for _ in range(1000):
+            sensor.accumulate(100.0, 0.01)
+        assert sensor.read_energy_j() == pytest.approx(1000.0, rel=0.02)
+
+    def test_noise_is_deterministic_per_seed(self):
+        a = EnergySensor("a", noise_std=0.05, seed=7)
+        b = EnergySensor("b", noise_std=0.05, seed=7)
+        for _ in range(10):
+            a.accumulate(50.0, 0.1)
+            b.accumulate(50.0, 0.1)
+        assert a.read_energy_j() == b.read_energy_j()
+
+    def test_negative_inputs_rejected(self):
+        sensor = EnergySensor("test")
+        with pytest.raises(ValueError):
+            sensor.accumulate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            sensor.accumulate(1.0, -1.0)
+
+    def test_reset(self):
+        sensor = EnergySensor("test")
+        sensor.accumulate(10.0, 1.0)
+        sensor.reset()
+        assert sensor.read_energy_j() == 0.0
+
+    def test_rapl_and_island_names(self):
+        assert RaplPackageSensor().name == "rapl-package"
+        assert IslandSensor("a15").name == "ina231-a15"
+
+
+class TestHardwareDescription:
+    def test_round_trip_intel(self, intel):
+        desc = HardwareDescription.from_platform(intel)
+        rebuilt = platform_from_description(
+            HardwareDescription.from_json(desc.to_json())
+        )
+        assert rebuilt.name == intel.name
+        assert rebuilt.capacity_vector() == intel.capacity_vector()
+        assert rebuilt.n_hw_threads == intel.n_hw_threads
+        assert rebuilt.uncore_power_w == intel.uncore_power_w
+
+    def test_round_trip_odroid_preserves_core_type_params(self, odroid):
+        desc = HardwareDescription.from_platform(odroid)
+        rebuilt = platform_from_description(desc)
+        for orig, new in zip(odroid.core_types, rebuilt.core_types):
+            assert orig == new
+
+    def test_file_round_trip(self, intel, tmp_path):
+        path = tmp_path / "etc" / "harp" / "hardware.json"
+        save_hardware_description(intel, path)
+        loaded = load_hardware_description(path)
+        assert loaded.capacity_vector() == intel.capacity_vector()
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareDescription.from_json('{"schema_version": 99, "name": "x", "core_types": [], "counts": {}}')

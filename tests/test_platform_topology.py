@@ -1,0 +1,115 @@
+"""Tests for the heterogeneous platform topology."""
+
+import pytest
+
+from repro.platform.topology import (
+    CoreType,
+    Platform,
+    odroid_xu3e,
+    raptor_lake_i9_13900k,
+)
+
+
+class TestCoreType:
+    def test_thread_speed_single(self):
+        ct = CoreType("P", 1.0, 2, 0.62, 4600, 800, 0.3, 15.0, 2.6)
+        assert ct.thread_speed(1) == pytest.approx(1.0)
+
+    def test_thread_speed_smt_degrades_per_thread(self):
+        ct = CoreType("P", 1.0, 2, 0.62, 4600, 800, 0.3, 15.0, 2.6)
+        assert ct.thread_speed(2) == pytest.approx(0.62)
+
+    def test_smt_increases_total_core_throughput(self):
+        ct = CoreType("P", 1.0, 2, 0.62, 4600, 800, 0.3, 15.0, 2.6)
+        assert 2 * ct.thread_speed(2) > ct.thread_speed(1)
+
+    def test_thread_speed_scales_with_frequency(self):
+        ct = CoreType("P", 1.0, 2, 0.62, 4600, 800, 0.3, 15.0, 2.6)
+        assert ct.thread_speed(1, 2300) == pytest.approx(0.5)
+
+    def test_invalid_smt_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType("X", 1.0, 0, 0.5, 1000, 100, 0.1, 1.0, 0.0)
+
+    def test_invalid_smt_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType("X", 1.0, 2, 0.0, 1000, 100, 0.1, 1.0, 0.0)
+
+    def test_invalid_frequency_range_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType("X", 1.0, 1, 1.0, 100, 1000, 0.1, 1.0, 0.0)
+
+    def test_zero_busy_siblings_rejected(self):
+        ct = CoreType("P", 1.0, 2, 0.62, 4600, 800, 0.3, 15.0, 2.6)
+        with pytest.raises(ValueError):
+            ct.thread_speed(0)
+
+
+class TestRaptorLake:
+    def test_core_counts(self, intel):
+        assert intel.count_of_type("P") == 8
+        assert intel.count_of_type("E") == 16
+        assert intel.n_cores == 24
+
+    def test_hw_thread_count_includes_smt(self, intel):
+        assert intel.n_hw_threads == 8 * 2 + 16
+
+    def test_capacity_vector_order_follows_core_types(self, intel):
+        assert intel.capacity_vector() == [8, 16]
+
+    def test_p_cores_have_two_hw_threads(self, intel):
+        for core in intel.cores_of_type("P"):
+            assert len(core.hw_threads) == 2
+
+    def test_e_cores_have_one_hw_thread(self, intel):
+        for core in intel.cores_of_type("E"):
+            assert len(core.hw_threads) == 1
+
+    def test_hw_thread_ids_unique_and_dense(self, intel):
+        ids = [t.thread_id for t in intel.hw_threads]
+        assert sorted(ids) == list(range(intel.n_hw_threads))
+
+    def test_e_core_slower_than_p_core(self, intel):
+        p = intel.core_type("P")
+        e = intel.core_type("E")
+        assert e.base_speed < p.base_speed
+
+    def test_max_speed_counts_smt_throughput(self, intel):
+        expected = 8 * 2 * 0.62 + 16 * 0.55
+        assert intel.max_speed() == pytest.approx(expected)
+
+
+class TestOdroid:
+    def test_two_islands_of_four(self, odroid):
+        assert odroid.count_of_type("big") == 4
+        assert odroid.count_of_type("LITTLE") == 4
+
+    def test_no_smt(self, odroid):
+        assert odroid.n_hw_threads == 8
+
+    def test_little_much_more_efficient(self, odroid):
+        big = odroid.core_type("big")
+        little = odroid.core_type("LITTLE")
+        assert little.active_power_w / little.base_speed < (
+            big.active_power_w / big.base_speed
+        )
+
+
+class TestPlatformQueries:
+    def test_unknown_core_type_raises(self, intel):
+        with pytest.raises(KeyError):
+            intel.core_type("GPU")
+
+    def test_duplicate_type_names_rejected(self):
+        ct = CoreType("X", 1.0, 1, 1.0, 1000, 100, 0.1, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            Platform(name="bad", core_types=[ct, ct])
+
+    def test_build_assigns_contiguous_core_ids(self, intel):
+        assert [c.core_id for c in intel.cores] == list(range(24))
+
+    def test_hw_threads_know_their_core(self, intel):
+        for core in intel.cores:
+            for t in core.hw_threads:
+                assert t.core_id == core.core_id
+                assert t.core_type is core.core_type

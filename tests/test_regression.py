@@ -1,0 +1,144 @@
+"""Tests for the regression models (Fig. 5 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import (
+    MLPRegressor,
+    PolynomialRegression,
+    SVRRegressor,
+    make_model,
+    mape,
+)
+
+
+def _grid(n=40, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 8, size=(n, k))
+
+
+class TestPolynomialRegression:
+    def test_fits_linear_exactly(self):
+        x = _grid()
+        y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 0.5
+        model = PolynomialRegression(1).fit(x, y)
+        assert mape(y, model.predict(x)) < 1e-6
+
+    def test_fits_quadratic_exactly_with_degree2(self):
+        x = _grid()
+        y = x[:, 0] ** 2 + x[:, 1] * x[:, 2] + 1.0
+        model = PolynomialRegression(2).fit(x, y)
+        assert np.allclose(model.predict(x), y, rtol=1e-6, atol=1e-6)
+
+    def test_degree1_cannot_fit_quadratic(self):
+        x = _grid()
+        y = x[:, 0] ** 2
+        model = PolynomialRegression(1).fit(x, y)
+        assert mape(y + 1, model.predict(x) + 1) > 1.0
+
+    def test_single_prediction_shape(self):
+        x = _grid()
+        y = x.sum(axis=1)
+        model = PolynomialRegression(1).fit(x, y)
+        single = model.predict(x[0])
+        assert np.isscalar(single) or single.shape == ()
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            PolynomialRegression(2).predict(np.zeros((1, 3)))
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(1).fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(1).fit(np.zeros((5, 3)), np.zeros(4))
+
+    def test_constant_feature_column_handled(self):
+        x = _grid()
+        x[:, 1] = 5.0  # zero variance
+        y = x[:, 0] * 2
+        model = PolynomialRegression(1).fit(x, y)
+        assert mape(y + 1, model.predict(x) + 1) < 1e-6
+
+
+class TestMLP:
+    def test_learns_smooth_function(self):
+        x = _grid(n=80)
+        y = np.sin(x[:, 0] / 3) * 10 + x[:, 1]
+        model = MLPRegressor(seed=1).fit(x, y)
+        pred = model.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.98
+
+    def test_deterministic_per_seed(self):
+        x = _grid()
+        y = x.sum(axis=1)
+        a = MLPRegressor(seed=3).fit(x, y).predict(x)
+        b = MLPRegressor(seed=3).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = _grid()
+        y = x.sum(axis=1)
+        a = MLPRegressor(seed=1, epochs=50).fit(x, y).predict(x)
+        b = MLPRegressor(seed=2, epochs=50).fit(x, y).predict(x)
+        assert not np.array_equal(a, b)
+
+
+class TestSVR:
+    def test_interpolates_training_points(self):
+        x = _grid(n=30)
+        y = x[:, 0] + 0.2 * x[:, 1]
+        model = SVRRegressor(ridge=1e-4).fit(x, y)
+        assert mape(y + 1, model.predict(x) + 1) < 5.0
+
+    def test_smooth_between_points(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        model = SVRRegressor().fit(x, y)
+        mid = model.predict(np.array([[1.5]]))
+        assert 0.5 < mid < 2.5
+
+
+class TestFactoryAndMape:
+    @pytest.mark.parametrize("name", ["poly1", "poly2", "poly3", "nn", "svm"])
+    def test_factory_names(self, name):
+        assert make_model(name).name == name
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_model("forest")
+
+    def test_mape_basic(self):
+        assert mape(np.array([100.0, 200.0]), np.array([110.0, 180.0])) == pytest.approx(10.0)
+
+    def test_mape_ignores_zero_truth(self):
+        assert mape(np.array([0.0, 100.0]), np.array([50.0, 110.0])) == pytest.approx(10.0)
+
+    def test_mape_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.ones(3))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_poly2_exact_on_random_quadratics(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-5, 5, size=(30, 2))
+        coef = rng.uniform(-2, 2, size=6)
+        y = (
+            coef[0]
+            + coef[1] * x[:, 0]
+            + coef[2] * x[:, 1]
+            + coef[3] * x[:, 0] ** 2
+            + coef[4] * x[:, 0] * x[:, 1]
+            + coef[5] * x[:, 1] ** 2
+        )
+        model = PolynomialRegression(2).fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-5, rtol=1e-4)

@@ -1,0 +1,69 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.analysis.experiments import PolicyComparison
+from repro.analysis.report import (
+    render_comparison,
+    render_factor_bars,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_formatting(self):
+        rows = [
+            {"app": "ep.C", "factor": 1.2345},
+            {"app": "binpack", "factor": 3.9},
+        ]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("app")
+        assert "1.23" in text and "3.90" in text
+        # All lines equally wide columns: separator matches header width.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_missing_keys_tolerated(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "3" in text
+
+
+class TestFactorBars:
+    def test_baseline_marker_present(self):
+        rows = [{"name": "x", "f": 2.0}, {"name": "y", "f": 0.5}]
+        text = render_factor_bars(rows, "name", "f", width=20)
+        assert "2.00x" in text and "0.50x" in text
+        assert "|" in text or "+" in text
+
+    def test_bigger_factor_longer_bar(self):
+        rows = [{"name": "slow", "f": 0.5}, {"name": "fast", "f": 2.0}]
+        text = render_factor_bars(rows, "name", "f", width=20)
+        slow_line, fast_line = text.splitlines()
+        assert fast_line.count("#") > slow_line.count("#")
+
+    def test_empty(self):
+        assert render_factor_bars([], "a", "b") == "(no rows)"
+
+
+class TestRenderComparison:
+    def test_groups_by_kind(self):
+        cmp = PolicyComparison(baseline="cfs")
+        cmp.rows = [
+            {"scenario": "a", "kind": "single", "policy": "harp",
+             "time_factor": 1.1, "energy_factor": 2.0},
+            {"scenario": "a+b", "kind": "multi", "policy": "harp",
+             "time_factor": 1.4, "energy_factor": 1.6},
+        ]
+        text = render_comparison(cmp)
+        assert "== single ==" in text
+        assert "== multi ==" in text
+        assert "a (harp)" in text

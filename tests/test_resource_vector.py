@@ -1,0 +1,153 @@
+"""Tests for extended resource vectors, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.platform.topology import raptor_lake_i9_13900k
+
+
+class TestLayout:
+    def test_intel_components(self, intel_layout):
+        keys = [(c.core_type, c.threads_used) for c in intel_layout.components]
+        assert keys == [("P", 1), ("P", 2), ("E", 1)]
+
+    def test_odroid_components(self, odroid_layout):
+        keys = [(c.core_type, c.threads_used) for c in odroid_layout.components]
+        assert keys == [("big", 1), ("LITTLE", 1)]
+
+    def test_make_paper_example(self, intel_layout):
+        # §4.1.2: 4 E-cores and 3 P-cores, two with both hyperthreads.
+        erv = intel_layout.make(P1=1, P2=2, E=4)
+        assert erv.counts == (1, 2, 4)
+        assert erv.total_cores() == 7
+        assert erv.total_threads() == 1 + 4 + 4
+
+    def test_make_unknown_key_rejected(self, intel_layout):
+        with pytest.raises(KeyError):
+            intel_layout.make(GPU=1)
+
+    def test_index_of(self, intel_layout):
+        assert intel_layout.index_of("P", 2) == 1
+        with pytest.raises(KeyError):
+            intel_layout.index_of("P", 3)
+
+    def test_zero(self, intel_layout):
+        assert intel_layout.zero().is_empty()
+
+    def test_enumerate_all_counts(self, odroid_layout):
+        # 5 choices per island minus the empty vector.
+        assert len(odroid_layout.enumerate_all()) == 5 * 5 - 1
+
+    def test_enumerate_all_fit(self, intel_layout):
+        vectors = intel_layout.enumerate_all()
+        assert all(v.fits() for v in vectors)
+        assert all(not v.is_empty() for v in vectors)
+
+    def test_enumerate_all_intel_size(self, intel_layout):
+        # P usage: pairs (p1, p2) with p1 + p2 <= 8 → 45; E: 0..16 → 17.
+        assert len(intel_layout.enumerate_all()) == 45 * 17 - 1
+
+
+class TestVector:
+    def test_core_vector(self, intel_layout):
+        erv = intel_layout.make(P1=1, P2=2, E=4)
+        assert erv.core_vector() == [3, 4]
+
+    def test_fits_within_capacity(self, intel_layout):
+        assert intel_layout.make(P2=8, E=16).fits()
+        assert not intel_layout.make(P1=5, P2=4).fits()
+
+    def test_negative_counts_rejected(self, intel_layout):
+        with pytest.raises(ValueError):
+            ExtendedResourceVector(intel_layout, (-1, 0, 0))
+
+    def test_wrong_arity_rejected(self, intel_layout):
+        with pytest.raises(ValueError):
+            ExtendedResourceVector(intel_layout, (1, 2))
+
+    def test_addition_and_subtraction(self, intel_layout):
+        a = intel_layout.make(P1=1, E=2)
+        b = intel_layout.make(P2=1, E=1)
+        assert (a + b).counts == (1, 1, 3)
+        assert (a + b - b).counts == a.counts
+
+    def test_subtraction_below_zero_rejected(self, intel_layout):
+        a = intel_layout.make(E=1)
+        b = intel_layout.make(E=2)
+        with pytest.raises(ValueError):
+            _ = a - b
+
+    def test_equality_and_hash(self, intel_layout):
+        a = intel_layout.make(P1=2)
+        b = intel_layout.make(P1=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != intel_layout.make(P2=2)
+
+    def test_distance(self, intel_layout):
+        a = intel_layout.make(P1=3)
+        b = intel_layout.make(E=4)
+        assert a.distance(b) == pytest.approx(5.0)
+        assert a.distance(a) == 0.0
+
+    def test_wire_round_trip(self, intel_layout):
+        erv = intel_layout.make(P1=1, P2=2, E=4)
+        assert ExtendedResourceVector.from_wire(intel_layout, erv.to_wire()) == erv
+
+    def test_repr_mentions_nonzero_components(self, intel_layout):
+        text = repr(intel_layout.make(P2=2, E=4))
+        assert "P@2=2" in text and "E@1=4" in text
+        assert "P@1" not in text
+
+    def test_as_array_dtype(self, intel_layout):
+        arr = intel_layout.make(E=3).as_array()
+        assert arr.dtype == float
+        assert arr.tolist() == [0.0, 0.0, 3.0]
+
+
+_LAYOUT = ErvLayout(raptor_lake_i9_13900k())
+_counts = st.tuples(
+    st.integers(0, 8), st.integers(0, 8), st.integers(0, 16)
+)
+
+
+class TestVectorProperties:
+    @given(_counts)
+    def test_total_threads_consistent(self, counts):
+        erv = ExtendedResourceVector(_LAYOUT, counts)
+        assert erv.total_threads() == counts[0] + 2 * counts[1] + counts[2]
+
+    @given(_counts, _counts)
+    def test_addition_commutative(self, a, b):
+        x = ExtendedResourceVector(_LAYOUT, a)
+        y = ExtendedResourceVector(_LAYOUT, b)
+        assert x + y == y + x
+
+    @given(_counts, _counts)
+    def test_distance_symmetric(self, a, b):
+        x = ExtendedResourceVector(_LAYOUT, a)
+        y = ExtendedResourceVector(_LAYOUT, b)
+        assert x.distance(y) == pytest.approx(y.distance(x))
+
+    @given(_counts, _counts, _counts)
+    @settings(max_examples=50)
+    def test_distance_triangle_inequality(self, a, b, c):
+        x = ExtendedResourceVector(_LAYOUT, a)
+        y = ExtendedResourceVector(_LAYOUT, b)
+        z = ExtendedResourceVector(_LAYOUT, c)
+        assert x.distance(z) <= x.distance(y) + y.distance(z) + 1e-9
+
+    @given(_counts)
+    def test_fits_iff_core_vector_within_capacity(self, counts):
+        erv = ExtendedResourceVector(_LAYOUT, counts)
+        capacity = _LAYOUT.platform.capacity_vector()
+        expected = all(u <= c for u, c in zip(erv.core_vector(), capacity))
+        assert erv.fits() == expected
+
+    @given(_counts)
+    def test_wire_round_trip_property(self, counts):
+        erv = ExtendedResourceVector(_LAYOUT, counts)
+        assert ExtendedResourceVector.from_wire(_LAYOUT, erv.to_wire()) == erv

@@ -1,0 +1,108 @@
+"""Integration tests for scenario runners (the §6 methodology)."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    INTEL_MULTI_SCENARIOS,
+    INTEL_SINGLE_APPS,
+    ODROID_SINGLE_APPS,
+    make_platform,
+    resolve_model,
+    run_scenario,
+)
+
+
+class TestResolution:
+    def test_all_intel_apps_resolve(self):
+        for name in INTEL_SINGLE_APPS:
+            assert resolve_model(name).name == name
+
+    def test_all_odroid_apps_resolve(self):
+        for name in ODROID_SINGLE_APPS:
+            assert resolve_model(name).name == name
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_model("doom")
+
+    def test_platforms(self):
+        assert make_platform("intel").n_hw_threads == 32
+        assert make_platform("odroid").n_hw_threads == 8
+        with pytest.raises(ValueError):
+            make_platform("m1")
+
+    def test_multi_scenarios_use_known_apps(self):
+        for scenario in INTEL_MULTI_SCENARIOS:
+            for app in scenario:
+                resolve_model(app)
+
+
+class TestBaselines:
+    def test_cfs_round(self):
+        result = run_scenario(["is.C"], policy="cfs", rounds=2, seed=0)
+        assert len(result.rounds) == 2
+        assert result.makespan_s > 0
+        assert result.energy_j > 0
+        assert "is.C" in result.rounds[0].app_times
+
+    def test_seeds_vary_rounds(self):
+        result = run_scenario(["is.C"], policy="cfs", rounds=2, seed=0)
+        # Sensor noise differs per seed but makespans stay close.
+        r0, r1 = result.rounds
+        assert r0.makespan_s == pytest.approx(r1.makespan_s, rel=0.05)
+
+    def test_eas_on_odroid(self):
+        result = run_scenario(["is.A"], platform="odroid", policy="eas",
+                              rounds=1, seed=0)
+        assert result.makespan_s > 0
+
+    def test_itd_on_intel(self):
+        result = run_scenario(["is.C"], policy="itd", rounds=1, seed=0)
+        assert result.makespan_s > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(["is.C"], policy="random")
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            run_scenario(["is.C"], rounds=0)
+
+
+class TestHarpPolicies:
+    def test_harp_reaches_stable_and_measures(self):
+        result = run_scenario(
+            ["mg.C"], policy="harp", rounds=1, seed=1, settle_rounds=1,
+        )
+        assert result.warmup_rounds >= 1
+        assert "mg.C" in result.stable_at_s
+        assert result.makespan_s > 0
+
+    def test_harp_beats_cfs_energy_on_memory_bound(self):
+        base = run_scenario(["mg.C"], policy="cfs", rounds=1, seed=1)
+        harp = run_scenario(["mg.C"], policy="harp", rounds=1, seed=1)
+        assert harp.energy_j < base.energy_j
+
+    def test_harp_offline_requires_tables(self):
+        with pytest.raises(ValueError):
+            run_scenario(["mg.C"], policy="harp-offline", rounds=1)
+
+    def test_harp_offline_with_tables(self):
+        points = [
+            {"erv": [0, 0, 12], "utility": 5.5e9, "power": 40.0,
+             "measured": True, "samples": 1},
+            {"erv": [0, 8, 16], "utility": 6.6e9, "power": 210.0,
+             "measured": True, "samples": 1},
+        ]
+        result = run_scenario(
+            ["mg.C"], policy="harp-offline", rounds=1, seed=0,
+            offline_tables={"mg.C": points},
+        )
+        assert result.warmup_rounds == 0
+        assert result.makespan_s > 0
+
+    def test_harp_noscaling_worse_than_harp(self):
+        harp = run_scenario(["mg.C"], policy="harp", rounds=1, seed=1)
+        noscale = run_scenario(["mg.C"], policy="harp-noscaling", rounds=1,
+                               seed=1)
+        assert noscale.makespan_s >= harp.makespan_s * 0.8
