@@ -21,19 +21,36 @@ sharing cores (the paper's §4.2.2 limitation); co-allocated applications
 are flagged so the manager suspends performance monitoring for them
 (§5.1).
 
+The solver exists in two modes.  ``"vectorized"`` (the default) pads the
+per-application cost vectors and resource matrices into dense tensors
+built once per solve and runs the subgradient iteration and greedy repair
+as batched numpy operations; ``"reference"`` runs the original scalar
+loops over the same (shared) problem matrices, so the two paths are
+comparable point-for-point and the vectorized path is checkable by
+construction.  Independently of the mode, dominated operating points
+(worse cost *and* no smaller resource demand on every type) are pruned
+before the solve, and whole solves are memoized on a fingerprint of the
+inputs so manager epochs with unchanged tables skip the solver entirely.
+
 A plain greedy solver (:class:`GreedyAllocator`) is included as an
 ablation baseline.
 """
 
 from __future__ import annotations
 
+import logging
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.cost import batch_costs
 from repro.core.operating_point import OperatingPoint
+from repro.core.pareto import dominated_mask
 from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
 from repro.platform.topology import Platform
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -78,8 +95,74 @@ class AllocationResult:
         return self.selections[pid].point.erv
 
 
+@dataclass
+class AllocatorStats:
+    """Observable counters for the solver hot path.
+
+    ``repair_give_ups`` counts repair invocations that ended with residual
+    capacity violations (the co-allocation fallback territory); a solve
+    repairs up to two candidate selections, so one oversubscribed epoch can
+    contribute two give-ups.
+    """
+
+    solves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    points_pruned: int = 0
+    repair_calls: int = 0
+    repair_steps: int = 0
+    repair_give_ups: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class _Problem:
+    """The dense padded MMKP instance built once per solve.
+
+    ``C`` is (apps, max_points) with +inf cost padding, ``R`` is
+    (apps, max_points, types) with zero padding; ``valid`` masks the real
+    entries.  ``orig_index[i][j]`` maps a (possibly pruned) local point
+    index back into ``requests[i].points``.
+    """
+
+    __slots__ = ("costs", "resources", "orig_index", "C", "R", "valid",
+                 "mandatory", "rows")
+
+    def __init__(
+        self,
+        costs: list[np.ndarray],
+        resources: list[np.ndarray],
+        orig_index: list[np.ndarray],
+        requests: list[AllocationRequest],
+        n_types: int,
+    ):
+        self.costs = costs
+        self.resources = resources
+        self.orig_index = orig_index
+        n = len(requests)
+        width = max(len(c) for c in costs)
+        self.C = np.full((n, width), np.inf)
+        self.R = np.zeros((n, width, n_types))
+        self.valid = np.zeros((n, width), dtype=bool)
+        for i, (c, r) in enumerate(zip(costs, resources)):
+            self.C[i, : len(c)] = c
+            self.R[i, : len(c)] = r
+            self.valid[i, : len(c)] = True
+        self.mandatory = np.array([req.mandatory for req in requests])
+        self.rows = np.arange(n)
+
+
 class LagrangianAllocator:
-    """Subgradient MMKP solver with greedy repair and placement."""
+    """Subgradient MMKP solver with greedy repair and placement.
+
+    Args:
+        mode: ``"vectorized"`` (batched numpy hot path, default) or
+            ``"reference"`` (the original scalar loops).
+        prune: drop Pareto-dominated operating points before solving.
+        cache_size: number of memoized solves to retain (0 disables).
+    """
 
     def __init__(
         self,
@@ -87,11 +170,21 @@ class LagrangianAllocator:
         layout: ErvLayout,
         iterations: int = 60,
         step0: float = 1.0,
+        mode: str = "vectorized",
+        prune: bool = True,
+        cache_size: int = 128,
     ):
+        if mode not in ("vectorized", "reference"):
+            raise ValueError(f"unknown allocator mode {mode!r}")
         self.platform = platform
         self.layout = layout
         self.iterations = iterations
         self.step0 = step0
+        self.mode = mode
+        self.prune = prune
+        self.cache_size = cache_size
+        self.stats = AllocatorStats()
+        self._cache: OrderedDict[tuple, tuple] = OrderedDict()
 
     # -- public API ----------------------------------------------------------------
 
@@ -123,7 +216,19 @@ class LagrangianAllocator:
         if not requests:
             return result
 
-        choices = self._select(requests, np.asarray(capacity, dtype=float))
+        key = self._fingerprint(requests, capacity, reserved)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return self._rebuild_from_cache(requests, cached)
+        self.stats.cache_misses += 1
+        self.stats.solves += 1
+
+        problem = self._build_problem(requests, len(capacity))
+        local = self._select(requests, problem, np.asarray(capacity, dtype=float))
+        choices = [
+            int(problem.orig_index[i][c]) for i, c in enumerate(local)
+        ]
         selections = {
             req.pid: Selection(pid=req.pid, point=req.points[idx])
             for req, idx in zip(requests, choices)
@@ -131,35 +236,170 @@ class LagrangianAllocator:
         self._mark_and_place(selections, capacity, reserved or {})
         result.selections = selections
         result.feasible = not any(s.co_allocated for s in selections.values())
+        self._cache_put(key, self._cache_entry(requests, choices, result))
         return result
 
+    # -- memoization -----------------------------------------------------------------
+
     @staticmethod
-    def _costs_of(req: AllocationRequest) -> np.ndarray:
-        costs = np.array([p.cost(req.max_utility) for p in req.points])
+    def _fingerprint(
+        requests: list[AllocationRequest],
+        capacity: list[int],
+        reserved: dict[str, int] | None,
+    ) -> tuple:
+        """A content hash of everything the solve and placement depend on.
+
+        Point characteristics are captured by value, so a table whose
+        points mutate in place (EMA updates, regression refreshes) changes
+        the fingerprint and invalidates any memoized solve.
+        """
+        req_keys = tuple(
+            (
+                req.pid,
+                req.mandatory,
+                req.max_utility,
+                req.hysteresis,
+                req.preferred_erv.counts if req.preferred_erv is not None else None,
+                tuple((p.erv.counts, p.utility, p.power) for p in req.points),
+            )
+            for req in requests
+        )
+        return (
+            req_keys,
+            tuple(capacity),
+            tuple(sorted((reserved or {}).items())),
+        )
+
+    def _cache_get(self, key: tuple) -> tuple | None:
+        if not self.cache_size:
+            return None
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: tuple, entry: tuple) -> None:
+        if not self.cache_size:
+            return
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    @staticmethod
+    def _cache_entry(
+        requests: list[AllocationRequest],
+        choices: list[int],
+        result: AllocationResult,
+    ) -> tuple:
+        rows = tuple(
+            (
+                req.pid,
+                idx,
+                result.selections[req.pid].co_allocated,
+                result.selections[req.pid].hw_threads,
+            )
+            for req, idx in zip(requests, choices)
+        )
+        return (rows, result.feasible)
+
+    @staticmethod
+    def _rebuild_from_cache(
+        requests: list[AllocationRequest], entry: tuple
+    ) -> AllocationResult:
+        """Fresh Selection objects so callers never alias cached state."""
+        rows, feasible = entry
+        result = AllocationResult(feasible=feasible)
+        for req, (pid, idx, co, hw) in zip(requests, rows):
+            result.selections[pid] = Selection(
+                pid=pid,
+                point=req.points[idx],
+                co_allocated=co,
+                hw_threads=hw,
+            )
+        return result
+
+    # -- problem construction (padding + pruning) ---------------------------------------
+
+    def _costs_of(
+        self, req: AllocationRequest, counts_mat: np.ndarray
+    ) -> np.ndarray:
+        costs = batch_costs(
+            [p.power for p in req.points],
+            [p.utility for p in req.points],
+            req.max_utility,
+        )
         if req.preferred_erv is not None:
-            for i, p in enumerate(req.points):
-                if p.erv == req.preferred_erv:
-                    costs[i] *= req.hysteresis
+            pref = req.preferred_erv.counts
+            if len(pref) == counts_mat.shape[1]:
+                match = np.all(counts_mat == np.asarray(pref), axis=1)
+                costs[match] *= req.hysteresis
         return costs
+
+    def _build_problem(
+        self, requests: list[AllocationRequest], n_types: int
+    ) -> _Problem:
+        # counts @ projection == stacked core_vector()s, without the
+        # per-point Python that used to dominate problem construction.
+        proj = self.layout.type_projection()
+        costs: list[np.ndarray] = []
+        resources: list[np.ndarray] = []
+        orig_index: list[np.ndarray] = []
+        for req in requests:
+            counts_mat = np.array([p.erv.counts for p in req.points], dtype=float)
+            cost_vec = self._costs_of(req, counts_mat)
+            res_mat = counts_mat @ proj
+            keep = np.arange(len(req.points))
+            if self.prune and not req.mandatory and len(req.points) > 1:
+                # Hysteresis is applied before pruning, so a discounted
+                # current point survives exactly when the solver could
+                # still pick it.
+                dominated = dominated_mask(
+                    np.column_stack([cost_vec, res_mat])
+                )
+                if dominated.any():
+                    keep = np.flatnonzero(~dominated)
+                    self.stats.points_pruned += int(dominated.sum())
+                    cost_vec = cost_vec[keep]
+                    res_mat = res_mat[keep]
+            costs.append(cost_vec)
+            resources.append(res_mat)
+            orig_index.append(keep)
+        return _Problem(costs, resources, orig_index, requests, n_types)
 
     # -- phase 1+2: selection ---------------------------------------------------------
 
     def _select(
-        self, requests: list[AllocationRequest], capacity: np.ndarray
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        capacity: np.ndarray,
     ) -> list[int]:
-        n_types = len(capacity)
-        costs = []
-        resources = []
-        for req in requests:
-            costs.append(self._costs_of(req))
-            resources.append(
-                np.array([p.erv.core_vector() for p in req.points], dtype=float)
-            )
+        if self.mode == "reference":
+            return self._select_reference(requests, problem, capacity)
+        return self._select_vectorized(requests, problem, capacity)
 
-        lam = np.zeros(n_types)
-        cost_scale = max(
-            1.0, float(np.median([c.min() for c in costs if len(c)]))
-        )
+    @staticmethod
+    def _cost_scale(costs: list[np.ndarray]) -> float:
+        """Median of per-application minimum costs, guarded for emptiness."""
+        mins = [float(c.min()) for c in costs if len(c)]
+        if not mins:
+            return 1.0
+        return max(1.0, float(np.median(mins)))
+
+    def _repair_bound(self, problem: _Problem) -> int:
+        """Repair-step budget derived from problem size (apps × points)."""
+        return max(1, len(problem.costs) * problem.C.shape[1])
+
+    def _select_reference(
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        capacity: np.ndarray,
+    ) -> list[int]:
+        costs, resources = problem.costs, problem.resources
+        lam = np.zeros(len(capacity))
+        cost_scale = self._cost_scale(costs)
         total_cores = float(max(capacity.sum(), 1.0))
         best_cost = np.inf
         best_choice: list[int] | None = None
@@ -198,8 +438,8 @@ class LagrangianAllocator:
             for req, cost_vec in zip(requests, costs)
         ]
         candidates = [
-            self._repair(requests, costs, resources, last_choice, capacity),
-            self._repair(requests, costs, resources, unconstrained, capacity),
+            self._repair(requests, problem, last_choice, capacity),
+            self._repair(requests, problem, unconstrained, capacity),
         ]
         if best_choice is not None:
             candidates.append(best_choice)
@@ -212,25 +452,98 @@ class LagrangianAllocator:
             if best is None or key < best[0]:
                 best = (key, choice)
         assert best is not None
-        return best[1]
+        return [int(c) for c in best[1]]
+
+    def _select_vectorized(
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        capacity: np.ndarray,
+    ) -> list[int]:
+        C, R = problem.C, problem.R
+        rows, mandatory = problem.rows, problem.mandatory
+        lam = np.zeros(len(capacity))
+        cost_scale = self._cost_scale(problem.costs)
+        total_cores = float(max(capacity.sum(), 1.0))
+        best_cost = np.inf
+        best_choice: np.ndarray | None = None
+        choice = np.zeros(len(requests), dtype=int)
+        for it in range(self.iterations):
+            penalized = C + R @ lam
+            choice = np.argmin(penalized, axis=1)
+            choice[mandatory] = 0
+            demand = R[rows, choice].sum(axis=0)
+            violation = demand - capacity
+            if np.all(violation <= 0):
+                total = float(C[rows, choice].sum())
+                if total < best_cost:
+                    best_cost = total
+                    best_choice = choice.copy()
+            step = self.step0 * cost_scale / (total_cores * (1 + it))
+            lam = np.maximum(0.0, lam + step * violation)
+        last_choice = choice
+
+        unconstrained = np.argmin(C, axis=1)
+        unconstrained[mandatory] = 0
+        candidates = [
+            self._repair(requests, problem, last_choice, capacity),
+            self._repair(requests, problem, unconstrained, capacity),
+        ]
+        if best_choice is not None:
+            candidates.append(best_choice)
+        best = None
+        for cand in candidates:
+            cand = np.asarray(cand, dtype=int)
+            total = float(C[rows, cand].sum())
+            demand = R[rows, cand].sum(axis=0)
+            feasible = bool(np.all(demand - capacity <= 1e-9))
+            key = (not feasible, total)
+            if best is None or key < best[0]:
+                best = (key, cand)
+        assert best is not None
+        return [int(c) for c in best[1]]
+
+    # -- phase 2: repair ----------------------------------------------------------------
 
     def _repair(
         self,
         requests: list[AllocationRequest],
-        costs: list[np.ndarray],
-        resources: list[np.ndarray],
-        choice: list[int],
+        problem: _Problem,
+        choice,
         capacity: np.ndarray,
-    ) -> list[int]:
+    ):
         """Greedy downgrade until the capacity constraint holds (or gives up).
 
         Each move swaps one application's selection for the alternative
         with the lowest extra cost per unit of *total* violation removed —
         violations newly created on other core types count against a
         candidate, which prevents repair from cycling between types.
+        The step budget scales with problem size (apps × points); when it
+        is exhausted, or no swap shrinks the violation, the give-up is
+        counted so co-allocation fallbacks stay observable.
         """
+        self.stats.repair_calls += 1
+        if self.mode == "reference":
+            return self._repair_reference(requests, problem, choice, capacity)
+        return self._repair_vectorized(requests, problem, choice, capacity)
+
+    def _give_up(self, reason: str, violation: float) -> None:
+        self.stats.repair_give_ups += 1
+        logger.debug(
+            "allocator repair gave up (%s); residual violation %.3f cores "
+            "-> co-allocation fallback", reason, violation,
+        )
+
+    def _repair_reference(
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        choice: list[int],
+        capacity: np.ndarray,
+    ) -> list[int]:
+        costs, resources = problem.costs, problem.resources
         choice = list(choice)
-        for _ in range(200):
+        for _ in range(self._repair_bound(problem)):
             demand = sum(res[c] for res, c in zip(resources, choice))
             violation = float(np.maximum(demand - capacity, 0.0).sum())
             if violation <= 1e-9:
@@ -242,7 +555,7 @@ class LagrangianAllocator:
                 cur_cost = costs[i][choice[i]]
                 cur_res = resources[i][choice[i]]
                 base = demand - cur_res
-                for j in range(len(req.points)):
+                for j in range(len(costs[i])):
                     if j == choice[i]:
                         continue
                     new_violation = float(
@@ -256,9 +569,52 @@ class LagrangianAllocator:
                         best = (penalty, i, j)
             if best is None:
                 # Nothing can shrink further: co-allocation territory.
+                self._give_up("no improving swap", violation)
                 return choice
+            self.stats.repair_steps += 1
             _, i, j = best
             choice[i] = j
+        self._give_up("step budget exhausted", violation)
+        return choice
+
+    def _repair_vectorized(
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        choice,
+        capacity: np.ndarray,
+    ) -> np.ndarray:
+        C, R = problem.C, problem.R
+        rows = problem.rows
+        width = C.shape[1]
+        choice = np.array(choice, dtype=int)
+        swappable = problem.valid.copy()
+        swappable[problem.mandatory, :] = False
+        for _ in range(self._repair_bound(problem)):
+            sel_res = R[rows, choice]
+            demand = sel_res.sum(axis=0)
+            violation = float(np.maximum(demand - capacity, 0.0).sum())
+            if violation <= 1e-9:
+                return choice
+            # base[i, j, :] = demand with app i's selection swapped for j.
+            base = demand[None, None, :] - sel_res[:, None, :] + R
+            new_violation = np.maximum(base - capacity, 0.0).sum(axis=2)
+            improvement = violation - new_violation
+            mask = swappable & (improvement > 1e-9)
+            mask[rows, choice] = False
+            if not mask.any():
+                self._give_up("no improving swap", violation)
+                return choice
+            cur_cost = C[rows, choice]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                penalty = (C - cur_cost[:, None]) / improvement
+            penalty = np.where(mask, penalty, np.inf)
+            # First row-major occurrence of the minimum matches the scalar
+            # path's (app, point) iteration order and strict-less update.
+            i, j = divmod(int(np.argmin(penalty)), width)
+            self.stats.repair_steps += 1
+            choice[i] = j
+        self._give_up("step budget exhausted", violation)
         return choice
 
     # -- phase 3: placement ---------------------------------------------------------------
@@ -353,17 +709,18 @@ class GreedyAllocator(LagrangianAllocator):
     """
 
     def _select(
-        self, requests: list[AllocationRequest], capacity: np.ndarray
+        self,
+        requests: list[AllocationRequest],
+        problem: _Problem,
+        capacity: np.ndarray,
     ) -> list[int]:
-        costs = []
-        resources = []
-        choice = []
-        for req in requests:
-            cost_vec = self._costs_of(req)
-            res_mat = np.array(
-                [p.erv.core_vector() for p in req.points], dtype=float
-            )
-            costs.append(cost_vec)
-            resources.append(res_mat)
-            choice.append(0 if req.mandatory else int(np.argmin(cost_vec)))
-        return self._repair(requests, costs, resources, choice, capacity)
+        if self.mode == "reference":
+            choice = [
+                0 if req.mandatory else int(np.argmin(cost_vec))
+                for req, cost_vec in zip(requests, problem.costs)
+            ]
+        else:
+            choice = np.argmin(problem.C, axis=1)
+            choice[problem.mandatory] = 0
+        repaired = self._repair(requests, problem, choice, capacity)
+        return [int(c) for c in repaired]

@@ -39,6 +39,27 @@ def energy_utility_cost(power: float, utility: float, max_utility: float) -> flo
     return (power / v_star) * (1.0 / v_star)
 
 
+def batch_costs(powers, utilities, max_utility: float):
+    """Vectorized ζ over parallel power/utility arrays (numpy).
+
+    Applies the same clamping as :func:`energy_utility_cost` elementwise;
+    used by the allocator to build whole cost vectors in one shot instead
+    of calling :meth:`OperatingPoint.cost` per point.
+    """
+    import numpy as np
+
+    if max_utility <= 0:
+        raise ValueError("max_utility must be > 0")
+    p = np.asarray(powers, dtype=float)
+    u = np.asarray(utilities, dtype=float)
+    if np.any(p < 0):
+        raise ValueError("power must be >= 0")
+    v_star = np.maximum(
+        np.maximum(u, 0.0) / max_utility, MIN_NORMALIZED_UTILITY
+    )
+    return (p / v_star) * (1.0 / v_star)
+
+
 def improvement_factor(baseline: float, value: float) -> float:
     """Paper's improvement factor F: F× faster / F× less energy than baseline."""
     if value <= 0 or baseline <= 0:

@@ -631,6 +631,12 @@ class HarpManager:
 
     # -- introspection -------------------------------------------------------------------
 
+    def allocator_stats(self):
+        """Solver hot-path counters: solves, memoization hits/misses,
+        pruned operating points, and repair give-ups (the observable
+        precursor of co-allocation fallbacks)."""
+        return self.allocator.stats
+
     def stages(self) -> dict[int, MaturityStage]:
         """Current maturity stage per managed application."""
         return {pid: s.table.stage for pid, s in self.sessions.items()}

@@ -27,25 +27,36 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return at_least_one_better
 
 
+def dominated_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of the dominated rows of an (n, m) objective matrix.
+
+    Row ``i`` is marked when some row ``j`` is no worse in every objective
+    and strictly better in at least one.  Duplicated rows never dominate
+    each other, so all copies of a non-dominated point stay unmarked.  The
+    pairwise comparison is fully vectorized: O(n² · m) numpy work instead
+    of Python loops, which is what makes per-solve candidate pruning in the
+    allocator affordable.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    if len(pts) == 0:
+        return np.zeros(0, dtype=bool)
+    # le[j, i]: row j is <= row i in every objective;
+    # lt[j, i]: row j is <  row i in at least one objective.
+    diff = pts[:, None, :] - pts[None, :, :]
+    le = (diff <= 0).all(axis=2)
+    lt = (diff < 0).any(axis=2)
+    return (le & lt).any(axis=0)
+
+
 def pareto_front_indices(points: np.ndarray) -> list[int]:
     """Indices of the non-dominated rows of an (n, m) objective matrix.
 
     Duplicated non-dominated points are all kept.
     """
-    pts = np.asarray(points, dtype=float)
-    if pts.ndim != 2:
-        raise ValueError("points must be a 2-D array")
-    n = len(pts)
-    keep = []
-    for i in range(n):
-        dominated = False
-        for j in range(n):
-            if j != i and dominates(pts[j], pts[i]):
-                dominated = True
-                break
-        if not dominated:
-            keep.append(i)
-    return keep
+    mask = dominated_mask(points)
+    return [int(i) for i in np.flatnonzero(~mask)]
 
 
 def pareto_front(points: np.ndarray) -> np.ndarray:

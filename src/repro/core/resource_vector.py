@@ -47,6 +47,21 @@ class ErvLayout:
     def __len__(self) -> int:
         return len(self.components)
 
+    def type_projection(self) -> np.ndarray:
+        """(components × core types) 0/1 matrix mapping ERV counts to cores.
+
+        ``erv_counts @ type_projection()`` equals ``erv.core_vector()`` for
+        every ERV of this layout; the allocator uses it to build whole
+        resource matrices with one matmul instead of per-point Python.
+        """
+        if not hasattr(self, "_type_projection"):
+            types = [ct.name for ct in self.platform.core_types]
+            proj = np.zeros((len(self.components), len(types)))
+            for i, comp in enumerate(self.components):
+                proj[i, types.index(comp.core_type)] = 1.0
+            self._type_projection = proj
+        return self._type_projection
+
     def index_of(self, core_type: str, threads_used: int) -> int:
         """Component index of the (core type, occupancy) pair."""
         try:
@@ -119,9 +134,14 @@ class ErvLayout:
 
 
 class ExtendedResourceVector:
-    """An immutable ERV bound to a layout."""
+    """An immutable ERV bound to a layout.
 
-    __slots__ = ("layout", "counts", "_hash")
+    Derived quantities (``core_vector``, ``total_cores``) are cached on
+    first computation: the allocator and placement code query them for
+    every point on every solve, and the counts tuple never changes.
+    """
+
+    __slots__ = ("layout", "counts", "_hash", "_core_vector", "_total_cores")
 
     def __init__(self, layout: ErvLayout, counts: tuple[int, ...]):
         if len(counts) != len(layout):
@@ -133,6 +153,8 @@ class ExtendedResourceVector:
         self.layout = layout
         self.counts = tuple(int(c) for c in counts)
         self._hash = hash(self.counts)
+        self._core_vector: tuple[int, ...] | None = None
+        self._total_cores: int | None = None
 
     # -- derived quantities --------------------------------------------------
 
@@ -146,14 +168,18 @@ class ExtendedResourceVector:
 
     def core_vector(self) -> list[int]:
         """Cores used per type, in platform type order (MMKP resource vector)."""
-        return [
-            self.cores_of_type(ct.name)
-            for ct in self.layout.platform.core_types
-        ]
+        if self._core_vector is None:
+            self._core_vector = tuple(
+                self.cores_of_type(ct.name)
+                for ct in self.layout.platform.core_types
+            )
+        return list(self._core_vector)
 
     def total_cores(self) -> int:
         """Total physical cores this ERV occupies (all types)."""
-        return sum(self.counts)
+        if self._total_cores is None:
+            self._total_cores = sum(self.counts)
+        return self._total_cores
 
     def total_threads(self) -> int:
         """Total hardware threads, i.e. the natural parallelization degree."""

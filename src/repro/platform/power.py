@@ -14,8 +14,10 @@ from dataclasses import dataclass
 from repro.platform.topology import Core, CoreType, Platform
 
 # Fraction of active power that does not scale with frequency (leakage and
-# always-on structures).
-_STATIC_FRACTION = 0.22
+# always-on structures).  Public alias for the engine's vectorized power
+# integration, which applies the same formula over arrays of cores.
+STATIC_FRACTION = 0.22
+_STATIC_FRACTION = STATIC_FRACTION
 
 
 @dataclass

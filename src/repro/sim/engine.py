@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, NamedTuple
 
+import numpy as np
+
 from repro.platform.dvfs import Governor, PerformanceGovernor
-from repro.platform.power import CorePowerModel, PlatformPowerModel
+from repro.platform.power import STATIC_FRACTION, CorePowerModel, PlatformPowerModel
 from repro.platform.sensors import EnergySensor
 from repro.platform.topology import Platform
 from repro.sim.perf import PerfCounters
@@ -72,7 +74,13 @@ class World:
         seed: int | None = None,
         sensor_noise: float = 0.01,
         perf_noise: float = 0.02,
+        vectorized: bool = True,
     ):
+        """``vectorized`` selects the batched per-tick hot path: power and
+        energy integration as arrays over all cores, plus reuse of the
+        scheduler placement while the runnable set and affinities are
+        unchanged.  ``vectorized=False`` keeps the original scalar
+        reference implementation for correctness comparisons."""
         if tick_s <= 0:
             raise ValueError("tick_s must be > 0")
         self.platform = platform
@@ -106,6 +114,41 @@ class World:
         self._idle_floor_w = platform.uncore_power_w + sum(
             c.core_type.idle_power_w for c in platform.cores
         )
+        self.vectorized = vectorized
+        self._placement_sig: tuple | None = None
+        self._placement_cache: dict[ThreadId, int] = {}
+        # Static per-core arrays for the vectorized power integration; hw
+        # threads are grouped by core so per-core reductions are reduceat
+        # segments.
+        cores = platform.cores
+        type_index = {ct.name: i for i, ct in enumerate(platform.core_types)}
+        self._type_names = [ct.name for ct in platform.core_types]
+        self._core_ids = [c.core_id for c in cores]
+        self._core_row = {c.core_id: i for i, c in enumerate(cores)}
+        self._core_type_idx = np.array(
+            [type_index[c.core_type.name] for c in cores], dtype=int
+        )
+        self._core_idle_w = np.array(
+            [c.core_type.idle_power_w for c in cores], dtype=float
+        )
+        self._core_active_w = np.array(
+            [c.core_type.active_power_w for c in cores], dtype=float
+        )
+        self._core_smt_w = np.array(
+            [c.core_type.smt_power_w for c in cores], dtype=float
+        )
+        self._core_max_freq = np.array(
+            [c.core_type.max_freq_mhz for c in cores], dtype=float
+        )
+        self._core_nthreads = np.array(
+            [len(c.hw_threads) for c in cores], dtype=float
+        )
+        self._hw_grouped = [
+            t.thread_id for c in cores for t in c.hw_threads
+        ]
+        self._group_starts = np.concatenate(
+            ([0], np.cumsum([len(c.hw_threads) for c in cores])[:-1])
+        ).astype(int)
 
     # -- workload management --------------------------------------------------
 
@@ -144,8 +187,7 @@ class World:
         """Advance the world by one tick."""
         dt = self.tick_s
         running = self.running_processes()
-        placement = self.scheduler.place(self) if running else {}
-        self._validate_placement(placement)
+        placement = self._placement_for(running)
 
         threads_on_hw: dict[int, list[ThreadId]] = {}
         for tid, hw_id in placement.items():
@@ -244,6 +286,92 @@ class World:
             else 0.0
         )
         superlinear = 0.92 + 0.16 * load_ratio
+        if self.vectorized:
+            package_power = self._integrate_power_vectorized(
+                busy_fraction, app_busy_on_core, freqs, stats, dt, superlinear
+            )
+        else:
+            package_power = self._integrate_power_reference(
+                busy_fraction, app_busy_on_core, freqs, stats, dt, superlinear
+            )
+        stats.package_power_w = package_power
+        self.package_sensor.accumulate(package_power, dt)
+        self.last_stats = stats
+
+        # Completion notifications happen after accounting for the tick.
+        just_finished = [p for p in running if p.finished]
+        self.time_s += dt
+        for process in just_finished:
+            for callback in process.on_finish:
+                callback(process)
+            for callback in self.on_process_exit:
+                callback(process)
+        for callback in self.on_tick:
+            callback(self)
+        return stats
+
+    def run_for(self, seconds: float) -> None:
+        """Advance by a fixed duration."""
+        target = self.time_s + seconds
+        while self.time_s < target - 1e-12:
+            self.step()
+
+    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
+        """Run until every process finished; returns the makespan.
+
+        The makespan is the latest finish time across processes, measured
+        from time zero of the world.
+        """
+        while any(not p.daemon for p in self.running_processes()):
+            if self.time_s > max_seconds:
+                raise RuntimeError(
+                    f"simulation exceeded {max_seconds}s without finishing"
+                )
+            self.step()
+        finish_times = [
+            p.finish_time_s
+            for p in self.processes.values()
+            if p.finish_time_s is not None
+        ]
+        return max(finish_times) if finish_times else self.time_s
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _placement_for(self, running: list[SimProcess]) -> dict[ThreadId, int]:
+        """This tick's placement, reusing the last one when nothing changed.
+
+        In vectorized mode, schedulers exposing a placement signature (a
+        pure function of runnable threads and affinity masks) are only
+        invoked when that signature changes — i.e. when the thread set or
+        the HARP allocation actually moved.  Cached placements were
+        validated when first computed.
+        """
+        if not running:
+            return {}
+        if self.vectorized:
+            sig = self.scheduler.placement_signature(self)
+            if sig is not None and sig == self._placement_sig:
+                return self._placement_cache
+            placement = self.scheduler.place(self)
+            self._validate_placement(placement)
+            if sig is not None:
+                self._placement_sig = sig
+                self._placement_cache = placement
+            return placement
+        placement = self.scheduler.place(self)
+        self._validate_placement(placement)
+        return placement
+
+    def _integrate_power_reference(
+        self,
+        busy_fraction: dict[int, float],
+        app_busy_on_core: dict[int, dict[int, float]],
+        freqs: dict[int, float],
+        stats: TickStats,
+        dt: float,
+        superlinear: float,
+    ) -> float:
+        """Original scalar per-core power/energy integration."""
         package_power = self.platform.uncore_power_w
         core_util: dict[int, float] = {}
         for core in self.platform.cores:
@@ -297,48 +425,97 @@ class World:
                             dynamic * dt * weight / total_weight
                         )
         self._core_util = core_util
-        stats.package_power_w = package_power
-        self.package_sensor.accumulate(package_power, dt)
-        self.last_stats = stats
+        return package_power
 
-        # Completion notifications happen after accounting for the tick.
-        just_finished = [p for p in running if p.finished]
-        self.time_s += dt
-        for process in just_finished:
-            for callback in process.on_finish:
-                callback(process)
-            for callback in self.on_process_exit:
-                callback(process)
-        for callback in self.on_tick:
-            callback(self)
-        return stats
+    def _integrate_power_vectorized(
+        self,
+        busy_fraction: dict[int, float],
+        app_busy_on_core: dict[int, dict[int, float]],
+        freqs: dict[int, float],
+        stats: TickStats,
+        dt: float,
+        superlinear: float,
+    ) -> float:
+        """Array-shaped power/energy integration over all cores at once.
 
-    def run_for(self, seconds: float) -> None:
-        """Advance by a fixed duration."""
-        target = self.time_s + seconds
-        while self.time_s < target - 1e-12:
-            self.step()
-
-    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
-        """Run until every process finished; returns the makespan.
-
-        The makespan is the latest finish time across processes, measured
-        from time zero of the world.
+        Implements the same formulas as the scalar reference (see
+        :meth:`_integrate_power_reference` and
+        :meth:`CorePowerModel.power_fractional`): per-core busy fractions
+        reduce to segment max/sum, the cubic DVFS scale and the SMT
+        increment apply elementwise, and per-type accumulators come from
+        one ``bincount`` each.  Only the sparse instruction-mix and
+        energy-attribution corrections stay dict-driven — they touch just
+        the cores that actually ran application work this tick.
         """
-        while any(not p.daemon for p in self.running_processes()):
-            if self.time_s > max_seconds:
-                raise RuntimeError(
-                    f"simulation exceeded {max_seconds}s without finishing"
-                )
-            self.step()
-        finish_times = [
-            p.finish_time_s
-            for p in self.processes.values()
-            if p.finish_time_s is not None
-        ]
-        return max(finish_times) if finish_times else self.time_s
-
-    # -- helpers -----------------------------------------------------------------
+        busy = np.zeros(len(self._hw_grouped))
+        if busy_fraction:
+            for pos, hw_id in enumerate(self._hw_grouped):
+                frac = busy_fraction.get(hw_id)
+                if frac is not None:
+                    busy[pos] = frac if frac < 1.0 else 1.0
+        fsum = np.add.reduceat(busy, self._group_starts)
+        fmax = np.maximum.reduceat(busy, self._group_starts)
+        freq = np.array([freqs[cid] for cid in self._core_ids], dtype=float)
+        ratio = freq / self._core_max_freq
+        scale = STATIC_FRACTION + (1.0 - STATIC_FRACTION) * ratio**3
+        power = (
+            self._core_idle_w
+            + self._core_active_w * scale * fmax
+            + self._core_smt_w * scale * (fsum - fmax)
+        )
+        intensity = np.ones(len(self._core_ids))
+        for core_id, mix in app_busy_on_core.items():
+            total_busy = sum(mix.values())
+            if total_busy > 0:
+                intensity[self._core_row[core_id]] = sum(
+                    used * self.processes[pid].model.power_intensity
+                    for pid, used in mix.items()
+                ) / total_busy
+        power = (
+            self._core_idle_w
+            + (power - self._core_idle_w) * intensity * superlinear
+        )
+        package_power = self.platform.uncore_power_w + float(power.sum())
+        self._core_util = dict(
+            zip(self._core_ids, (fsum / self._core_nthreads).tolist())
+        )
+        n_types = len(self._type_names)
+        busy_by_type = np.bincount(
+            self._core_type_idx, weights=fsum, minlength=n_types
+        )
+        energy_by_type = np.bincount(
+            self._core_type_idx, weights=power, minlength=n_types
+        )
+        for name, b, e in zip(self._type_names, busy_by_type, energy_by_type):
+            stats.busy_time_by_type[name] = (
+                stats.busy_time_by_type.get(name, 0.0) + b * dt
+            )
+            self.busy_time_by_type_s[name] += b * dt
+            stats.energy_by_type_j[name] = (
+                stats.energy_by_type_j.get(name, 0.0) + e * dt
+            )
+            self.energy_by_type_j[name] += e * dt
+        # Ground-truth dynamic-energy attribution for validation: weighted
+        # by each application's actual power intensity, which the γ-based
+        # attribution of Eq. 3 cannot observe.
+        for core_id, contributions in app_busy_on_core.items():
+            dynamic = float(
+                power[self._core_row[core_id]]
+                - self._core_idle_w[self._core_row[core_id]]
+            )
+            if dynamic <= 0 or not contributions:
+                continue
+            weights = {
+                pid: used * self.processes[pid].model.power_intensity
+                for pid, used in contributions.items()
+            }
+            total_weight = sum(weights.values())
+            if total_weight > 0:
+                for pid, weight in weights.items():
+                    self.processes[pid].energy_true_j += (
+                        dynamic * dt * weight / total_weight
+                    )
+        return package_power
 
     def _validate_placement(self, placement: dict[ThreadId, int]) -> None:
         for tid, hw_id in placement.items():

@@ -24,6 +24,19 @@ class Scheduler(ABC):
     def place(self, world: "World") -> dict[ThreadId, int]:
         """Return a thread→hardware-thread placement for this tick."""
 
+    def placement_signature(self, world: "World") -> tuple | None:
+        """Hashable key of everything ``place`` depends on, or ``None``.
+
+        When a scheduler returns a signature, the engine's vectorized mode
+        reuses the previous tick's placement as long as the signature is
+        unchanged — placements are only recomputed when the runnable
+        thread set or an affinity mask (i.e. the HARP allocation) actually
+        changes.  Schedulers whose decisions also depend on continuously
+        varying state (PELT utilization, run-queue history) must return
+        ``None`` to opt out of caching.
+        """
+        return None
+
     @staticmethod
     def runnable(world: "World") -> list[tuple[SimProcess, SimThread]]:
         """All (process, thread) pairs eligible to run, deterministic order.

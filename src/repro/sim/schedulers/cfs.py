@@ -32,6 +32,14 @@ class CfsScheduler(Scheduler):
 
     name = "cfs"
 
+    def placement_signature(self, world: "World") -> tuple:
+        # The placement is a pure function of the runnable thread set (in
+        # order) and each process's affinity mask.
+        return tuple(
+            (thread.tid, process.affinity)
+            for process, thread in self.runnable(world)
+        )
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         hw_threads = world.platform.hw_threads
         capacity = {

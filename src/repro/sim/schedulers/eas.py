@@ -38,6 +38,11 @@ class EasScheduler(Scheduler):
             raise ValueError("misfit_threshold must be in (0, 1]")
         self.misfit_threshold = misfit_threshold
 
+    def placement_signature(self, world: "World") -> None:
+        # PELT utilization moves every tick, so placements are never
+        # reusable across ticks; opt out of the engine's placement cache.
+        return None
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         platform = world.platform
         hw_threads = platform.hw_threads

@@ -30,6 +30,14 @@ class ItdScheduler(Scheduler):
 
     name = "itd"
 
+    def placement_signature(self, world: "World") -> tuple:
+        # Placement depends on the runnable set, affinities, and each
+        # thread's ITD class (phase extensions may reclassify threads).
+        return tuple(
+            (thread.tid, process.affinity, thread.itd_class)
+            for process, thread in self.runnable(world)
+        )
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         platform = world.platform
         hw_threads = platform.hw_threads

@@ -15,6 +15,11 @@ from repro.sim.schedulers.cfs import CfsScheduler
 
 
 class PinnedScheduler(CfsScheduler):
-    """CFS balancing within per-process affinity masks."""
+    """CFS balancing within per-process affinity masks.
+
+    Inherits CFS's placement signature, so the engine's vectorized mode
+    only recomputes the placement when the runnable thread set or an
+    installed affinity mask (a HARP allocation) changes.
+    """
 
     name = "pinned"

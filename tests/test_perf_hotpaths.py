@@ -1,0 +1,254 @@
+"""Hot-path equivalence and behavior tests.
+
+The vectorized allocator and simulation paths must be interchangeable
+with the scalar reference paths: same selections, same placement, same
+energy accounting.  These tests pin that equivalence with seeded random
+instances (mandatory points, hysteresis, reserved cores included) and
+exercise the hot-path plumbing — ERV caching, the layout projection,
+the repair-step budget, solve memoization and its invalidation, and the
+engine's placement cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import npb_model
+from repro.core.allocator import AllocationRequest, LagrangianAllocator
+from repro.core.operating_point import OperatingPoint
+from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.platform.topology import raptor_lake_i9_13900k
+from repro.sim.engine import World
+from repro.sim.schedulers.cfs import CfsScheduler
+
+N_INSTANCES = 200
+
+
+def _random_instance(
+    layout: ErvLayout, rng: np.random.Generator
+) -> tuple[list[AllocationRequest], dict[str, int] | None]:
+    """A randomized solver input mixing the paper's request shapes.
+
+    Roughly a quarter of the applications are mandatory (exploration
+    pseudo-requests pinned to their first point), most non-mandatory ones
+    carry a preferred ERV (hysteresis), and a third of the instances
+    withhold reserved background cores.
+    """
+    n_apps = int(rng.integers(2, 7))
+    requests = []
+    for pid in range(n_apps):
+        n_points = int(rng.integers(4, 17))
+        points = []
+        for _ in range(n_points):
+            p1 = int(rng.integers(0, 5))
+            p2 = int(rng.integers(0, 5))
+            e = int(rng.integers(0, 9))
+            if p1 + p2 + e == 0:
+                e = 1
+            points.append(
+                OperatingPoint(
+                    erv=ExtendedResourceVector(layout, (p1, p2, e)),
+                    utility=float(rng.uniform(0.5, 20.0)),
+                    power=float(rng.uniform(1.0, 150.0)),
+                    measured=True,
+                    samples=1,
+                )
+            )
+        mandatory = rng.random() < 0.25
+        preferred = None
+        if not mandatory and rng.random() < 0.7:
+            preferred = points[int(rng.integers(0, n_points))].erv
+        requests.append(
+            AllocationRequest(
+                pid=pid,
+                points=points,
+                max_utility=20.0,
+                mandatory=mandatory,
+                preferred_erv=preferred,
+            )
+        )
+    reserved = None
+    if rng.random() < 1 / 3:
+        reserved = {"P": int(rng.integers(0, 3)), "E": int(rng.integers(0, 5))}
+    return requests, reserved
+
+
+def test_vectorized_matches_reference_on_random_instances(intel, intel_layout):
+    """Seeded sweep: both modes agree on every solve.
+
+    Selections are compared point-for-point (ties are measure-zero with
+    continuous random characteristics, so unique argmins transfer), and
+    total cost, feasibility, co-allocation flags, and concrete placement
+    must all match.
+    """
+    rng = np.random.default_rng(1234)
+    ref = LagrangianAllocator(intel, intel_layout, mode="reference", cache_size=0)
+    vec = LagrangianAllocator(intel, intel_layout, mode="vectorized", cache_size=0)
+    for _ in range(N_INSTANCES):
+        requests, reserved = _random_instance(intel_layout, rng)
+        res_ref = ref.allocate(requests, reserved=reserved)
+        res_vec = vec.allocate(requests, reserved=reserved)
+        assert res_ref.feasible == res_vec.feasible
+        assert set(res_ref.selections) == set(res_vec.selections)
+        total_ref = total_vec = 0.0
+        for req in requests:
+            s_ref = res_ref.selections[req.pid]
+            s_vec = res_vec.selections[req.pid]
+            assert s_ref.point is s_vec.point
+            assert s_ref.co_allocated == s_vec.co_allocated
+            assert s_ref.hw_threads == s_vec.hw_threads
+            total_ref += s_ref.point.cost(req.max_utility)
+            total_vec += s_vec.point.cost(req.max_utility)
+        assert total_ref == total_vec
+    # The sweep must actually have exercised the hot paths.
+    assert ref.stats.solves == vec.stats.solves == N_INSTANCES
+    assert vec.stats.points_pruned > 0
+    assert vec.stats.repair_calls > 0
+
+
+def test_erv_derived_quantities_are_cached_and_safe(intel_layout):
+    erv = ExtendedResourceVector(intel_layout, (1, 2, 4))
+    first = erv.core_vector()
+    assert first == [3, 4]
+    assert erv.total_cores() == 7
+    # Mutating the returned list must not corrupt the cache.
+    first.append(99)
+    assert erv.core_vector() == [3, 4]
+    assert erv._core_vector == (3, 4)
+    assert erv._total_cores == 7
+
+
+def test_type_projection_matches_core_vector(odroid, odroid_layout):
+    proj = odroid_layout.type_projection()
+    assert proj is odroid_layout.type_projection()  # cached
+    for erv in odroid_layout.enumerate_all(include_empty=True)[:200]:
+        produced = np.asarray(erv.counts, dtype=float) @ proj
+        assert produced.tolist() == [float(c) for c in erv.core_vector()]
+
+
+def test_repair_bound_scales_with_problem_size(intel, intel_layout):
+    alloc = LagrangianAllocator(intel, intel_layout)
+    big = ExtendedResourceVector(intel_layout, (4, 0, 0))
+    requests = [
+        AllocationRequest(
+            pid=pid,
+            points=[OperatingPoint(erv=big, utility=5.0, power=10.0)],
+            max_utility=10.0,
+        )
+        for pid in range(3)
+    ]
+    problem = alloc._build_problem(requests, 2)
+    assert alloc._repair_bound(problem) == 3 * problem.C.shape[1]
+
+
+def test_repair_give_up_is_counted_and_falls_back_to_coallocation(
+    intel, intel_layout
+):
+    """Every point oversubscribes the machine: repair must give up
+    observably and the placement must co-allocate rather than fail."""
+    alloc = LagrangianAllocator(intel, intel_layout, cache_size=0)
+    whole_machine = ExtendedResourceVector(intel_layout, (8, 0, 16))
+    requests = [
+        AllocationRequest(
+            pid=pid,
+            points=[OperatingPoint(erv=whole_machine, utility=5.0, power=10.0)],
+            max_utility=10.0,
+        )
+        for pid in range(2)
+    ]
+    result = alloc.allocate(requests)
+    assert not result.feasible
+    assert any(s.co_allocated for s in result.selections.values())
+    assert alloc.stats.repair_give_ups >= 1
+
+
+def _small_requests(layout: ErvLayout) -> list[AllocationRequest]:
+    points = [
+        OperatingPoint(
+            erv=ExtendedResourceVector(layout, (2, 0, 0)),
+            utility=8.0,
+            power=20.0,
+        ),
+        OperatingPoint(
+            erv=ExtendedResourceVector(layout, (0, 0, 4)),
+            utility=6.0,
+            power=9.0,
+        ),
+    ]
+    return [AllocationRequest(pid=1, points=points, max_utility=10.0)]
+
+
+def test_memoization_hits_and_returns_unaliased_results(intel, intel_layout):
+    alloc = LagrangianAllocator(intel, intel_layout)
+    requests = _small_requests(intel_layout)
+    first = alloc.allocate(requests)
+    second = alloc.allocate(requests)
+    assert alloc.stats.solves == 1
+    assert alloc.stats.cache_hits == 1
+    sel1, sel2 = first.selections[1], second.selections[1]
+    assert sel1 is not sel2  # fresh Selection objects per hit
+    assert sel1.point is sel2.point
+    assert sel1.hw_threads == sel2.hw_threads
+    # Mutating one result must not leak into later cache hits.
+    sel2.co_allocated = True
+    third = alloc.allocate(requests)
+    assert third.selections[1].co_allocated is False
+
+
+def test_memoization_invalidated_by_in_place_mutation(intel, intel_layout):
+    """The fingerprint is by value: EMA updates or table edits that mutate
+    a request's points in place must force a fresh solve."""
+    alloc = LagrangianAllocator(intel, intel_layout)
+    requests = _small_requests(intel_layout)
+    alloc.allocate(requests)
+    requests[0].points[1].power = 200.0  # in-place characteristic update
+    alloc.allocate(requests)
+    assert alloc.stats.solves == 2
+    requests[0].points.append(
+        OperatingPoint(
+            erv=ExtendedResourceVector(intel_layout, (1, 0, 0)),
+            utility=2.0,
+            power=3.0,
+        )
+    )
+    alloc.allocate(requests)
+    assert alloc.stats.solves == 3
+    # Unchanged inputs keep hitting.
+    alloc.allocate(requests)
+    assert alloc.stats.solves == 3 and alloc.stats.cache_hits == 1
+
+
+def _sim_world(vectorized: bool) -> World:
+    world = World(
+        raptor_lake_i9_13900k(), CfsScheduler(), seed=0, vectorized=vectorized
+    )
+    for name in ("ep.C", "cg.C", "is.C"):
+        world.spawn(npb_model(name))
+    return world
+
+
+def test_engine_vectorized_matches_reference():
+    ref, vec = _sim_world(False), _sim_world(True)
+    for _ in range(300):
+        ref.step()
+        vec.step()
+    for name, e_ref in ref.energy_by_type_j.items():
+        e_vec = vec.energy_by_type_j[name]
+        assert e_vec == pytest.approx(e_ref, rel=1e-9)
+    for pid, proc in ref.processes.items():
+        assert vec.processes[pid].energy_true_j == pytest.approx(
+            proc.energy_true_j, rel=1e-9
+        )
+
+
+def test_engine_placement_cache_recomputes_on_affinity_change():
+    world = _sim_world(True)
+    world.step()
+    world.step()
+    sig_before = world._placement_sig
+    assert sig_before is not None  # CFS placements are cacheable
+    pid = next(iter(world.processes))
+    world.processes[pid].set_affinity(frozenset({0, 1}))
+    world.step()
+    assert world._placement_sig != sig_before
