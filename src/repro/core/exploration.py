@@ -212,6 +212,5 @@ class ExplorationPlanner:
         for erv, utility, power in zip(missing, pred_u, pred_p):
             point = table.get_or_create(erv)
             if not point.measured:
-                point.utility = float(utility)
-                point.power = float(power)
+                point.set_predicted(utility, power)
         return len(missing)

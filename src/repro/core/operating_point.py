@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.core.cost import energy_utility_cost
 from repro.core.pareto import pareto_front_indices
@@ -56,7 +56,7 @@ class OperatingPoint:
     erv: ExtendedResourceVector
     utility: float = 0.0
     power: float = 0.0
-    knobs: dict = field(default_factory=dict)
+    knobs: dict[str, object] = field(default_factory=dict)
     measured: bool = False
     samples: int = 0
 
@@ -85,7 +85,24 @@ class OperatingPoint:
         self.measured = True
         self.samples += 1
 
-    def to_wire(self) -> dict:
+    def set_predicted(self, utility: float, power: float) -> None:
+        """Overwrite characteristics with regression predictions (§5.2).
+
+        Only unmeasured points accept predictions: a measurement always
+        outranks the model, and keeping the mutation here (rather than as
+        ad-hoc attribute writes at call sites) is what lets harplint's
+        HL002 rule guarantee the allocator's by-value solve fingerprints
+        observe every characteristic change.
+        """
+        if self.measured:
+            raise ValueError(
+                "refusing to overwrite measured characteristics with "
+                "predictions"
+            )
+        self.utility = float(utility)
+        self.power = float(power)
+
+    def to_wire(self) -> dict[str, object]:
         """JSON-compatible encoding for description files and IPC."""
         return {
             "erv": self.erv.to_wire(),
@@ -97,7 +114,7 @@ class OperatingPoint:
         }
 
     @classmethod
-    def from_wire(cls, layout: ErvLayout, data: dict) -> "OperatingPoint":
+    def from_wire(cls, layout: ErvLayout, data: dict[str, object]) -> "OperatingPoint":
         return cls(
             erv=ExtendedResourceVector.from_wire(layout, data["erv"]),
             utility=float(data["utility"]),
@@ -127,7 +144,7 @@ class OperatingPointTable:
     def __len__(self) -> int:
         return len(self._points)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[OperatingPoint]:
         return iter(self._points)
 
     @property
@@ -214,7 +231,7 @@ class OperatingPointTable:
 
     # -- serialization ---------------------------------------------------------
 
-    def to_wire(self) -> dict:
+    def to_wire(self) -> dict[str, object]:
         """JSON-compatible encoding (description files, snapshots, IPC)."""
         return {
             "app": self.app_name,
@@ -223,7 +240,7 @@ class OperatingPointTable:
         }
 
     @classmethod
-    def from_wire(cls, layout: ErvLayout, data: dict) -> "OperatingPointTable":
+    def from_wire(cls, layout: ErvLayout, data: dict[str, object]) -> "OperatingPointTable":
         table = cls(data["app"], layout)
         table.stage = MaturityStage(data.get("stage", "initial"))
         for raw in data.get("points", []):

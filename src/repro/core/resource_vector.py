@@ -33,13 +33,13 @@ class ErvLayout:
     """The component ordering of extended resource vectors on a platform."""
 
     def __init__(self, platform: Platform):
-        self.platform = platform
+        self.platform: Platform = platform
         self.components: tuple[ErvComponent, ...] = tuple(
             ErvComponent(ct.name, used)
             for ct in platform.core_types
             for used in range(1, ct.smt + 1)
         )
-        self._index = {
+        self._index: dict[tuple[str, int], int] = {
             (c.core_type, c.threads_used): i
             for i, c in enumerate(self.components)
         }
@@ -150,9 +150,9 @@ class ExtendedResourceVector:
             )
         if any(c < 0 for c in counts):
             raise ValueError("ERV counts must be non-negative")
-        self.layout = layout
-        self.counts = tuple(int(c) for c in counts)
-        self._hash = hash(self.counts)
+        self.layout: ErvLayout = layout
+        self.counts: tuple[int, ...] = tuple(int(c) for c in counts)
+        self._hash: int = hash(self.counts)
         self._core_vector: tuple[int, ...] | None = None
         self._total_cores: int | None = None
 

@@ -30,7 +30,7 @@ class Message:
 
     TYPE = "message"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         data = asdict(self)
         data["type"] = self.TYPE
         return data
@@ -74,7 +74,7 @@ class OperatingPointsMessage(Message):
     TYPE = "operating_points"
 
     pid: int
-    points: list = field(default_factory=list)
+    points: list[dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -84,10 +84,10 @@ class ActivateOperatingPoint(Message):
     TYPE = "activate"
 
     pid: int
-    erv: list = field(default_factory=list)
+    erv: list[int] = field(default_factory=list)
     degree: int = 1
-    knobs: dict = field(default_factory=dict)
-    hw_threads: list = field(default_factory=list)
+    knobs: dict[str, object] = field(default_factory=dict)
+    hw_threads: list[int] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -143,12 +143,12 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
 }
 
 
-def encode_message(message: Message) -> dict:
+def encode_message(message: Message) -> dict[str, object]:
     """Message → JSON-compatible dictionary."""
     return message.to_dict()
 
 
-def decode_message(data: dict) -> Message:
+def decode_message(data: dict[str, object]) -> Message:
     """JSON dictionary → typed message; raises ProtocolViolation on junk."""
     if not isinstance(data, dict) or "type" not in data:
         raise ProtocolViolation("message without a type tag")

@@ -1,0 +1,37 @@
+"""harplint — AST-based static analysis for the HARP reproduction.
+
+Five repo-specific rules encode the invariants the runtime relies on
+(see ``docs/static_analysis.md``):
+
+=======  ================  =====================================================
+Code     Name              Contract
+=======  ================  =====================================================
+HL001    determinism       no unseeded RNGs, wall clocks, or salted ``hash()``
+HL002    mutation-safety   value types mutate only in their defining module
+HL003    float-equality    no exact ``==``/``!=`` against float literals
+HL004    parity-coverage   every reference/vectorized switch has a test
+HL005    ipc-conformance   every Message class is codec-registered
+=======  ================  =====================================================
+
+Run ``python -m repro.lint src tests`` or the ``harplint`` console script.
+Suppress a finding inline with ``# harplint: disable=HL001 -- reason``.
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, all_rules, register, select_rules
+from repro.lint.runner import collect_files, lint_paths, run
+from repro.lint.source import Project, SourceFile, classify_role
+
+__all__ = [
+    "Diagnostic",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "classify_role",
+    "collect_files",
+    "lint_paths",
+    "register",
+    "run",
+    "select_rules",
+]

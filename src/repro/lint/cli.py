@@ -1,0 +1,101 @@
+"""The ``harplint`` command line (also ``python -m repro.lint``).
+
+Exit status: 0 when the tree is clean (or ``--list-rules``), 1 when any
+non-suppressed diagnostic remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.registry import select_rules
+from repro.lint.runner import lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harplint",
+        description=(
+            "AST-based static analysis for the HARP reproduction: "
+            "determinism, mutation-safety, float-equality, "
+            "reference/vectorized parity coverage, and IPC conformance."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help="report diagnostics even on '# harplint: disable' lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in select_rules(None):
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    codes = None
+    if args.select:
+        codes = [c for c in args.select.split(",") if c.strip()]
+    try:
+        diagnostics = lint_paths(
+            args.paths,
+            codes=codes,
+            apply_suppressions=not args.no_suppressions,
+        )
+    except KeyError as exc:
+        print(f"harplint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"harplint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "count": len(diagnostics),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        if diagnostics:
+            print(f"harplint: {len(diagnostics)} diagnostic(s)")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

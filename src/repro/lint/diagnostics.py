@@ -1,0 +1,41 @@
+"""Diagnostic records emitted by harplint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a file position.
+
+    Attributes:
+        path: path of the offending file, as given to the runner.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        code: rule code (``HL001`` .. ``HL005``, ``HL000`` for parse errors).
+        message: human-readable explanation of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible encoding (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        """The human-readable one-line form (``--format text``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,75 @@
+"""Rule base class and registry.
+
+A rule is a class with a unique ``code`` (``HLnnn``), a short ``name``,
+a ``rationale`` string (rendered by ``--list-rules`` and the docs), and a
+``check(project)`` generator yielding :class:`Diagnostic` objects.  Rules
+self-register via the :func:`register` decorator; the runner instantiates
+each once per invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.source import Project, SourceFile
+
+_RULES: dict[str, "Type[Rule]"] = {}
+
+
+class Rule:
+    """Base class for harplint rules."""
+
+    code: str = "HL000"
+    name: str = "rule"
+    rationale: str = ""
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+
+    def diag(
+        self, file: SourceFile, line: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=file.path, line=line, col=col, code=self.code, message=message
+        )
+
+
+class FileRule(Rule):
+    """A rule that inspects each src/fixture file independently."""
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for file in project.lintable_files():
+            yield from self.check_file(file)
+
+    def check_file(self, file: SourceFile) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _RULES and _RULES[cls.code] is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    import repro.lint.rules  # noqa: F401  -- triggers registration
+
+    return [_RULES[code]() for code in sorted(_RULES)]
+
+
+def select_rules(codes: Iterable[str] | None) -> list[Rule]:
+    """Instances of the selected codes (all when ``codes`` is None)."""
+    rules = all_rules()
+    if codes is None:
+        return rules
+    wanted = {c.strip().upper() for c in codes}
+    unknown = wanted - {r.code for r in rules}
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [r for r in rules if r.code in wanted]

@@ -1,0 +1,9 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    floats,
+    ipc,
+    mutation,
+    parity,
+)

@@ -1,0 +1,154 @@
+"""HL001 — determinism: no unseeded or process-salted entropy sources.
+
+HARP's headline numbers (Fig. 5–8) and the PR 1 reference-vs-vectorized
+property tests are only meaningful if every run of the same scenario
+produces the same trace.  The simulator therefore threads explicit seeds
+through every RNG.  This rule forbids the entropy sources that silently
+break that contract:
+
+* ``np.random.default_rng()`` with no seed argument;
+* the legacy global numpy RNG (``np.random.seed`` / ``np.random.rand`` …);
+* the stdlib ``random`` module (global, process-level state);
+* wall-clock reads — ``time.time()``, ``datetime.now()``/``utcnow()`` —
+  which make measurements depend on when, not what, you ran;
+* the builtin ``hash()`` feeding a seed: string hashing is salted per
+  process (``PYTHONHASHSEED``), so ``default_rng(hash(key))`` gives every
+  worker a different stream (the exact bug fixed in
+  ``analysis/experiments.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileRule, register
+from repro.lint.source import SourceFile
+
+# np.random attributes that are part of the seedable Generator API and
+# therefore fine to reference.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+
+@register
+class DeterminismRule(FileRule):
+    code = "HL001"
+    name = "determinism"
+    rationale = (
+        "Unseeded RNGs, the stdlib random module, wall-clock reads, and "
+        "salted builtin hash() as a seed make runs irreproducible."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Diagnostic]:
+        assert file.tree is not None
+        imports_random = any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "random" for alias in node.names)
+            for node in ast.walk(file.tree)
+        )
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.diag(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "import from the stdlib 'random' module: its global "
+                    "state is unseeded per process; use a seeded "
+                    "np.random.default_rng(seed) instead",
+                )
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            yield from self._check_call(file, node, name, imports_random)
+
+    def _check_call(
+        self,
+        file: SourceFile,
+        node: ast.Call,
+        name: str,
+        imports_random: bool,
+    ) -> Iterator[Diagnostic]:
+        leaf = name.split(".")[-1]
+        if leaf == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.diag(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; pass an explicit seed",
+                )
+            else:
+                yield from self._check_seed_exprs(
+                    file, list(node.args) + [kw.value for kw in node.keywords]
+                )
+            return
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[-2] == "random" and parts[0] != "random":
+            # np.random.<legacy> (module-global numpy RNG).
+            if leaf not in _NP_RANDOM_OK:
+                yield self.diag(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy global numpy RNG 'np.random.{leaf}'; use a "
+                    "seeded np.random.default_rng(seed) generator",
+                )
+            return
+        if imports_random and parts[0] == "random" and len(parts) == 2:
+            yield self.diag(
+                file,
+                node.lineno,
+                node.col_offset,
+                f"stdlib 'random.{leaf}' uses unseeded process-global "
+                "state; use a seeded np.random.default_rng(seed)",
+            )
+            return
+        if name in ("time.time", "time.time_ns"):
+            yield self.diag(
+                file,
+                node.lineno,
+                node.col_offset,
+                "wall-clock time.time() in simulation/analysis code makes "
+                "results depend on when the run happened; thread the "
+                "simulated clock or an explicit timestamp through instead",
+            )
+            return
+        if leaf in ("now", "utcnow", "today") and len(parts) >= 2 and (
+            parts[-2] in ("datetime", "date")
+        ):
+            yield self.diag(
+                file,
+                node.lineno,
+                node.col_offset,
+                f"wall-clock {name}() is nondeterministic; pass timestamps "
+                "in explicitly",
+            )
+            return
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                yield from self._check_seed_exprs(file, [kw.value])
+
+    def _check_seed_exprs(
+        self, file: SourceFile, exprs: list[ast.expr]
+    ) -> Iterator[Diagnostic]:
+        """Flag builtin hash() anywhere inside a seed expression."""
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "hash"
+                ):
+                    yield self.diag(
+                        file,
+                        sub.lineno,
+                        sub.col_offset,
+                        "builtin hash() as a seed is salted per process "
+                        "(PYTHONHASHSEED); derive seeds from a stable "
+                        "digest such as zlib.crc32 over a canonical string",
+                    )

@@ -1,0 +1,95 @@
+"""File collection and rule execution (the engine behind the CLI)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, select_rules
+from repro.lint.source import Project, SourceFile
+
+# Directory segments never scanned when expanding a directory argument.
+# ``fixtures`` holds the lint suite's own deliberately-bad inputs; passing
+# a fixture file *explicitly* still lints it (that's how the tests work).
+DEFAULT_EXCLUDED_SEGMENTS = frozenset(
+    {"fixtures", "__pycache__", ".git", ".venv", "build", "dist"}
+)
+
+
+def collect_files(
+    paths: Sequence[str | Path],
+    excluded_segments: frozenset[str] = DEFAULT_EXCLUDED_SEGMENTS,
+) -> list[Path]:
+    """Expand path arguments into a sorted list of python files."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            rel_parts = candidate.parts
+            if path.is_dir() and any(
+                seg in excluded_segments for seg in rel_parts
+            ):
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def run(
+    project: Project,
+    rules: Iterable[Rule] | None = None,
+    apply_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Run rules over a project; returns surviving diagnostics, sorted.
+
+    Files that failed to parse produce an ``HL000`` diagnostic each (a
+    broken file must fail the build, not silently skip its rules).
+    """
+    rule_list = list(rules) if rules is not None else select_rules(None)
+    diagnostics: list[Diagnostic] = []
+    files_by_path = {f.path: f for f in project.files}
+    for file in project.files:
+        if file.parse_error is not None:
+            diagnostics.append(
+                Diagnostic(
+                    path=file.path,
+                    line=file.parse_error_line,
+                    col=0,
+                    code="HL000",
+                    message=f"file does not parse: {file.parse_error}",
+                )
+            )
+    for rule in rule_list:
+        diagnostics.extend(rule.check(project))
+    if apply_suppressions:
+        diagnostics = [
+            d
+            for d in diagnostics
+            if d.code == "HL000"
+            or not files_by_path[d.path].is_suppressed(d.code, d.line)
+        ]
+    return sorted(set(diagnostics), key=Diagnostic.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    codes: Sequence[str] | None = None,
+    apply_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Convenience wrapper: collect, parse, and lint in one call."""
+    files = [SourceFile.load(p) for p in collect_files(paths)]
+    return run(
+        Project(files),
+        rules=select_rules(codes),
+        apply_suppressions=apply_suppressions,
+    )

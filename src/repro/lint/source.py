@@ -1,0 +1,158 @@
+"""Source-file loading, role classification, and suppression parsing.
+
+Rules operate on a :class:`Project` — the set of parsed files plus their
+*roles*:
+
+* ``src`` — production code under ``src/repro/`` (rules apply fully);
+* ``test`` — test modules (the reference corpus for HL004, otherwise
+  exempt from the style-of-hazard rules);
+* ``fixture`` — lint test fixtures, treated like ``src`` so each rule's
+  positive/negative cases can live in ordinary files.
+
+Suppressions are inline comments::
+
+    rng = np.random.default_rng()  # harplint: disable=HL001 -- CI jitter probe
+
+A bare ``disable=all`` silences every rule on that line.  A
+``# harplint: disable-file=<code>`` comment anywhere in a file silences
+the code for the whole file (reserved for generated code; the policy in
+``docs/static_analysis.md`` requires a justification after ``--``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ROLE_SRC = "src"
+ROLE_TEST = "test"
+ROLE_FIXTURE = "fixture"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*harplint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+?)\s*(?:--|$)"
+)
+
+
+def classify_role(path: str | Path) -> str:
+    """Default role for a path: fixtures > tests > src."""
+    parts = Path(path).parts
+    name = Path(path).name
+    if "fixtures" in parts:
+        return ROLE_FIXTURE
+    if name.startswith("test_") or name == "conftest.py" or "tests" in parts:
+        return ROLE_TEST
+    return ROLE_SRC
+
+
+def parse_suppressions(text: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract per-line and file-level suppressed codes from comments.
+
+    Returns ``(line -> {codes}, file_codes)``; the special token ``all``
+    is kept verbatim and matches every code.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = [
+            (i, line)
+            for i, line in enumerate(text.splitlines(), start=1)
+            if "#" in line
+        ]
+    for lineno, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if not match:
+            continue
+        kind, raw = match.groups()
+        codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+        if kind == "disable-file":
+            file_level |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_level
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus everything rules need to know about it."""
+
+    path: str
+    text: str
+    tree: ast.Module | None
+    role: str
+    parse_error: str | None = None
+    parse_error_line: int = 1
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path, role: str | None = None) -> "SourceFile":
+        path = str(path)
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_text(path, text, role=role)
+
+    @classmethod
+    def from_text(
+        cls, path: str, text: str, role: str | None = None
+    ) -> "SourceFile":
+        if role is None:
+            role = classify_role(path)
+        tree: ast.Module | None = None
+        error: str | None = None
+        error_line = 1
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            error = exc.msg or "syntax error"
+            error_line = exc.lineno or 1
+        per_line, file_level = parse_suppressions(text)
+        return cls(
+            path=path,
+            text=text,
+            tree=tree,
+            role=role,
+            parse_error=error,
+            parse_error_line=error_line,
+            suppressions=per_line,
+            file_suppressions=file_level,
+        )
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        code = code.upper()
+        if code in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        codes = self.suppressions.get(line, set())
+        return code in codes or "ALL" in codes
+
+
+class Project:
+    """The full file set a lint run sees (cross-file rules need it all)."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+
+    @classmethod
+    def load(cls, paths: list[str | Path]) -> "Project":
+        return cls([SourceFile.load(p) for p in paths])
+
+    def lintable_files(self) -> list[SourceFile]:
+        """Files the hazard rules walk: src and fixture roles, parsed OK."""
+        return [
+            f
+            for f in self.files
+            if f.role in (ROLE_SRC, ROLE_FIXTURE) and f.tree is not None
+        ]
+
+    def test_files(self) -> list[SourceFile]:
+        """The reference corpus for coverage rules (HL004)."""
+        return [f for f in self.files if f.role == ROLE_TEST and f.tree is not None]

@@ -47,7 +47,7 @@ class CorePowerModel:
             )
         if not 0.0 <= activity <= 1.0:
             raise ValueError("activity must be in [0, 1]")
-        if busy_threads == 0 or activity == 0.0:
+        if busy_threads == 0 or activity <= 0.0:
             return ct.idle_power_w
         freq = ct.max_freq_mhz if freq_mhz is None else freq_mhz
         ratio = freq / ct.max_freq_mhz
@@ -74,7 +74,7 @@ class CorePowerModel:
         fractions = sorted(
             (min(1.0, max(0.0, f)) for f in busy_fractions), reverse=True
         )
-        if not fractions or fractions[0] == 0.0:
+        if not fractions or fractions[0] <= 0.0:
             return ct.idle_power_w
         freq = ct.max_freq_mhz if freq_mhz is None else freq_mhz
         ratio = freq / ct.max_freq_mhz

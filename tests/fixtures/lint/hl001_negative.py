@@ -1,0 +1,22 @@
+"""HL001 negative fixture: every RNG explicitly and stably seeded."""
+
+import zlib
+
+import numpy as np
+
+
+def seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def stable_digest_seed(app: str, seed: int):
+    key = f"{app}|{seed}".encode("utf-8")
+    return np.random.default_rng(zlib.crc32(key))
+
+
+def generator_api(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def simulated_clock(world) -> float:
+    return world.time_s

@@ -1,0 +1,32 @@
+"""HL001 positive fixture: every nondeterminism hazard the rule knows."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def legacy_numpy_global():
+    np.random.seed(7)
+    return np.random.rand(3)
+
+
+def stdlib_random():
+    return random.random()
+
+
+def wall_clock():
+    return time.time()
+
+
+def wall_clock_datetime():
+    return datetime.now()
+
+
+def salted_seed(app: str):
+    return np.random.default_rng(hash((app, 1)) % 2**32)

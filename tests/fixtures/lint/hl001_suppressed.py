@@ -1,0 +1,11 @@
+"""HL001 suppressed fixture: hazards with justified inline disables."""
+
+import numpy as np
+
+
+def jitter_probe():
+    return np.random.default_rng()  # harplint: disable=HL001 -- entropy probe, results discarded
+
+
+def salted(app: str):
+    return np.random.default_rng(seed=hash(app))  # harplint: disable=HL001 -- demo of the bug

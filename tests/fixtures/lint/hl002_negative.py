@@ -1,0 +1,20 @@
+"""HL002 negative fixture: sanctioned APIs and read-only access."""
+
+from repro.core.operating_point import OperatingPoint
+from repro.core.resource_vector import ExtendedResourceVector
+
+
+def sanctioned_update(point: OperatingPoint) -> None:
+    point.record_sample(5.0, 2.0)
+
+
+def sanctioned_prediction(point: OperatingPoint) -> None:
+    point.set_predicted(4.0, 1.5)
+
+
+def read_only(point: OperatingPoint, erv: ExtendedResourceVector) -> float:
+    return point.utility + float(erv.total_cores())
+
+
+def untyped_receiver(row) -> None:
+    row.utility = 2.0

@@ -1,0 +1,24 @@
+"""HL002 positive fixture: cross-module mutation of guarded value types."""
+
+from repro.core.operating_point import OperatingPoint
+from repro.core.resource_vector import ExtendedResourceVector
+
+
+def clobber_param(point: OperatingPoint) -> None:
+    point.utility = 3.5
+    point.samples += 1
+
+
+def clobber_annotated(table, erv) -> None:
+    point: OperatingPoint = table.get_or_create(erv)
+    point.power = 1.0
+
+
+def clobber_constructed(layout) -> None:
+    erv = ExtendedResourceVector(layout, (1, 0))
+    erv.counts = (2, 0)
+    del erv.layout
+
+
+def clobber_cache_field(some_erv) -> None:
+    some_erv._core_vector = None

@@ -1,0 +1,12 @@
+"""HL003 negative fixture: ordered bounds, isclose, non-float literals."""
+
+import math
+
+
+def checks(x: float, n: int, s: str) -> bool:
+    a = x <= 0.0
+    b = math.isclose(x, 1.5, rel_tol=1e-9)
+    c = n == 0
+    d = s == "reference"
+    e = 0.0 < x < 1.0
+    return a or b or c or d or e

@@ -1,0 +1,9 @@
+"""HL003 positive fixture: exact comparisons against float literals."""
+
+
+def checks(x: float) -> bool:
+    a = x == 0.0
+    b = x != 1.5
+    c = 2.0 == x
+    d = x == -3.5
+    return a or b or c or d

@@ -1,0 +1,5 @@
+"""HL003 suppressed fixture: a justified exact float comparison."""
+
+
+def bit_exact_parity(a: float, b: float) -> bool:
+    return a - b == 0.0  # harplint: disable=HL003 -- asserting IEEE bit-exact parity

@@ -1,0 +1,34 @@
+"""HL004 fixture: three parity switches; the test corpus covers two."""
+
+import numpy as np
+
+
+class CoveredSolver:
+    """Referenced by the fixture test corpus — no diagnostic."""
+
+    def __init__(self, mode: str = "vectorized"):
+        self.mode = mode
+
+    def solve(self, values):
+        if self.mode == "reference":
+            return sum(values)
+        return float(np.sum(values))
+
+
+class UncoveredSolver:
+    """Not referenced anywhere under tests/ — diagnostic."""
+
+    def __init__(self, mode: str = "vectorized"):
+        self.mode = mode
+
+    def solve(self, values):
+        if self.mode == "reference":
+            return min(values)
+        return float(np.min(values))
+
+
+def integrate(samples, vectorized: bool = True):
+    """Covered module-level switch — no diagnostic."""
+    if vectorized:
+        return float(np.sum(samples))
+    return sum(samples)

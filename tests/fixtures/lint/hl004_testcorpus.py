@@ -1,0 +1,13 @@
+"""Reference corpus for the HL004 fixture (loaded with role=test)."""
+
+from hl004_module import CoveredSolver, integrate
+
+
+def check_covered_solver_parity():
+    reference = CoveredSolver(mode="reference").solve([1.0, 2.0])
+    vectorized = CoveredSolver().solve([1.0, 2.0])
+    assert abs(reference - vectorized) < 1e-12
+
+
+def check_integrate_parity():
+    assert abs(integrate([1.0], vectorized=False) - integrate([1.0])) < 1e-12

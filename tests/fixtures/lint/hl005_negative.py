@@ -1,0 +1,29 @@
+"""HL005 negative fixture: every message registered, tags unique."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    TYPE = "message"
+
+
+@dataclass(frozen=True)
+class HelloRequest(Message):
+    TYPE = "hello"
+
+
+@dataclass(frozen=True)
+class ByeRequest(Message):
+    TYPE = "bye"
+
+
+_MESSAGE_TYPES = {cls.TYPE: cls for cls in (HelloRequest, ByeRequest)}
+
+
+def encode_message(message):
+    return {"type": message.TYPE}
+
+
+def decode_message(data):
+    return _MESSAGE_TYPES[data["type"]]()

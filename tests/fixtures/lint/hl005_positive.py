@@ -1,0 +1,41 @@
+"""HL005 positive fixture: unregistered class + duplicate TYPE tag."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    TYPE = "message"
+
+
+@dataclass(frozen=True)
+class PingRequest(Message):
+    TYPE = "ping"
+
+
+@dataclass(frozen=True)
+class PongReply(Message):
+    TYPE = "pong"
+
+
+@dataclass(frozen=True)
+class ForgottenNotice(Message):
+    TYPE = "forgotten"
+
+
+@dataclass(frozen=True)
+class DuplicateReply(Message):
+    TYPE = "pong"
+
+
+_MESSAGE_TYPES = {
+    cls.TYPE: cls for cls in (PingRequest, PongReply, DuplicateReply)
+}
+
+
+def encode_message(message):
+    return {"type": message.TYPE}
+
+
+def decode_message(data):
+    return _MESSAGE_TYPES[data["type"]]()

@@ -1,0 +1,29 @@
+"""HL005 suppressed fixture: an intentionally codec-less message."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    TYPE = "message"
+
+
+@dataclass(frozen=True)
+class LocalOnlyEvent(Message):  # harplint: disable=HL005 -- in-process event, never crosses the wire
+    TYPE = "local_only"
+
+
+@dataclass(frozen=True)
+class WireRequest(Message):
+    TYPE = "wire"
+
+
+_MESSAGE_TYPES = {cls.TYPE: cls for cls in (WireRequest,)}
+
+
+def encode_message(message):
+    return {"type": message.TYPE}
+
+
+def decode_message(data):
+    return _MESSAGE_TYPES[data["type"]]()

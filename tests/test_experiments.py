@@ -101,3 +101,49 @@ class TestFig8:
         scenario = result["scenarios"][0]
         assert scenario["trajectory"]
         assert scenario["stable_at_s"]
+
+
+class TestStableSeeding:
+    """Fig. 5 seeds must not depend on the process hash salt."""
+
+    def test_stable_seed_is_crc_of_canonical_key(self):
+        import zlib
+
+        from repro.analysis.experiments import _stable_seed
+
+        expected = zlib.crc32(b"ep.C|poly2|10|3")
+        assert _stable_seed("ep.C", "poly2", 10, 3) == expected
+
+    def test_identical_across_hash_salts(self):
+        """Two subprocesses with different PYTHONHASHSEED draw the same
+        training subsets (the regression for the salted hash() seed)."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        code = (
+            "import numpy as np\n"
+            "from repro.analysis.experiments import _stable_seed\n"
+            "seed = _stable_seed('ep.C', 'poly2', 10, 3)\n"
+            "rng = np.random.default_rng(seed)\n"
+            "idx = rng.choice(120, size=10, replace=False)\n"
+            "print(seed, ','.join(map(str, idx)))\n"
+        )
+        outputs = []
+        for salt in ("0", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = salt
+            env["PYTHONPATH"] = src_dir
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
