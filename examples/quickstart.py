@@ -10,7 +10,14 @@ HARP learned along the way.
 Usage::
 
     python examples/quickstart.py
+    python examples/quickstart.py --obs trace.json   # + Perfetto telemetry
+
+With ``--obs`` the run records harpobs telemetry (allocator solve spans,
+stage transitions, IPC counters, …) and writes a Chrome-trace JSON you
+can open at https://ui.perfetto.dev (see docs/observability.md).
 """
+
+import argparse
 
 from repro.analysis.scenarios import run_scenario
 from repro.core.manager import HarpManager, ManagerConfig
@@ -23,6 +30,16 @@ from repro.apps import npb_model
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--obs", default=None, metavar="TRACE_JSON",
+                        help="record telemetry and write a Perfetto trace")
+    args = parser.parse_args()
+    if args.obs:
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+
     app = "mg.C"
     print(f"=== HARP quickstart: {app} on a simulated i9-13900K ===\n")
 
@@ -64,6 +81,14 @@ def main() -> None:
     for point in sorted(table.measured_points(), key=lambda p: p.cost(v_max))[:5]:
         print(f"  {str(point.erv):32s} utility={point.utility:10.3g} "
               f"power={point.power:6.1f} W  ζ={point.cost(v_max):8.1f}")
+
+    if args.obs:
+        from repro.obs import OBS, render_summary, write_chrome_trace
+
+        OBS.disable()
+        write_chrome_trace(OBS, args.obs)
+        print(f"\n=== Telemetry ===\n{render_summary(OBS)}")
+        print(f"\nPerfetto trace -> {args.obs} (open at ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

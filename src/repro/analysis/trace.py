@@ -5,14 +5,22 @@ progress, package power, per-core-type busy time — for debugging,
 visualization, and the allocation-timeline reports used by the examples.
 A tracer is a plain ``on_tick`` listener; traces can be exported as
 JSON-compatible dictionaries or rendered as a text timeline.
+
+The tracer also feeds the harpobs registry (``repro.obs``): while the
+default registry is enabled, every trace sample is mirrored as a
+``trace.sample`` event plus ``trace.*`` gauges, so world-level time
+series land in the same Perfetto/Prometheus exports as the RM's own
+spans and counters (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import OBS
 from repro.sim.engine import World
 
 
@@ -74,6 +82,17 @@ class WorldTracer:
             )
             sample.nthreads[process.pid] = process.nthreads
         self.samples.append(sample)
+        if OBS.enabled:
+            OBS.gauge("trace.package_power_w").set(sample.package_power_w)
+            OBS.gauge("trace.running_apps").set(len(sample.running))
+            OBS.counter("trace.samples").inc()
+            OBS.event(
+                "trace.sample", track="trace",
+                power_w=sample.package_power_w,
+                apps={
+                    str(pid): sample.running[pid] for pid in sample.running
+                },
+            )
 
     # -- export ------------------------------------------------------------------
 
@@ -103,26 +122,47 @@ class WorldTracer:
     def save(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
+    def _nearest_sample(self, times: list[float], t: float) -> TraceSample:
+        """The sample whose time is closest to ``t`` (times are sorted)."""
+        idx = bisect_left(times, t)
+        if idx == 0:
+            return self.samples[0]
+        if idx == len(times):
+            return self.samples[-1]
+        before, after = times[idx - 1], times[idx]
+        return self.samples[idx - 1 if t - before <= after - t else idx]
+
     def timeline(self, width: int = 60) -> str:
-        """A text timeline: one row per application, '#' where running."""
+        """A text timeline: one row per application, '#' where running.
+
+        Empty traces render as ``"(empty trace)"`` (the same benign
+        behavior as :meth:`average_power_w` returning 0.0).
+        """
         if not self.samples:
             return "(empty trace)"
         apps: dict[int, str] = {}
         for sample in self.samples:
             apps.update(sample.running)
         end = self.samples[-1].time_s or 1e-9
+        # Samples are appended in time order, so one bisect per column
+        # replaces the old O(samples × width) min() scan.
+        times = [s.time_s for s in self.samples]
         lines = [f"0s {'-' * width} {end:.1f}s"]
         for pid in sorted(apps):
             row = []
             for col in range(width):
                 t = end * (col + 0.5) / width
-                sample = min(self.samples, key=lambda s: abs(s.time_s - t))
+                sample = self._nearest_sample(times, t)
                 row.append("#" if pid in sample.running else ".")
             lines.append(f"{apps[pid][:14]:>14} [{''.join(row)}]")
         return "\n".join(lines)
 
     def average_power_w(self) -> float:
-        """Mean package power over the trace."""
+        """Mean package power over the trace; 0.0 for an empty trace.
+
+        Consistent with :meth:`timeline`, an empty trace yields a benign
+        value instead of raising.
+        """
         if not self.samples:
-            raise ValueError("empty trace")
+            return 0.0
         return sum(s.package_power_w for s in self.samples) / len(self.samples)

@@ -6,12 +6,16 @@ Subcommands::
     python -m repro dse       --app mg.C --out mg.json
     python -m repro hardware  --platform intel --out hw.json
     python -m repro experiment --name attribution
+    python -m repro obs-report --apps ep.C mg.C --perfetto trace.json
 
 ``scenario`` runs an evaluation scenario under one policy and prints
 makespan/energy (plus factors vs a baseline when requested); ``dse``
 generates an application profile via offline design-space exploration;
 ``hardware`` writes a platform's description file; ``experiment`` runs one
-of the paper's experiments at a quick scale and prints its rows.
+of the paper's experiments at a quick scale and prints its rows;
+``obs-report`` runs a scenario with harpobs telemetry enabled and prints
+a registry summary, optionally exporting Perfetto / Prometheus / JSONL
+dumps (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -145,6 +149,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import run_scenario
+    from repro.obs import (
+        OBS,
+        render_summary,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus_text,
+    )
+
+    OBS.reset()
+    OBS.enable()
+    try:
+        result = run_scenario(
+            args.apps,
+            platform=args.platform,
+            policy=args.policy,
+            governor=args.governor,
+            rounds=args.rounds,
+            seed=args.seed,
+        )
+    finally:
+        OBS.disable()
+    print(f"scenario : {' + '.join(args.apps)} on {args.platform}")
+    print(f"policy   : {args.policy}")
+    print(f"makespan : {result.makespan_s:.2f} s")
+    print(f"energy   : {result.energy_j:.0f} J")
+    print()
+    print(render_summary(OBS))
+    if args.perfetto:
+        write_chrome_trace(OBS, args.perfetto)
+        print(f"perfetto trace -> {args.perfetto}")
+    if args.prom:
+        write_prometheus_text(OBS, args.prom)
+        print(f"prometheus dump -> {args.prom}")
+    if args.jsonl:
+        write_jsonl(OBS, args.jsonl)
+        print(f"event log -> {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["fig1", "fig5", "fig6", "fig7", "fig8",
                                      "governor", "overhead", "attribution"])
     experiment.set_defaults(func=_cmd_experiment)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="run a scenario with telemetry and print a registry summary",
+    )
+    obs_report.add_argument("--apps", nargs="+", required=True)
+    obs_report.add_argument("--platform", default="intel",
+                            choices=["intel", "odroid"])
+    obs_report.add_argument("--policy", default="harp",
+                            choices=["cfs", "eas", "itd", "harp",
+                                     "harp-offline", "harp-noscaling"])
+    obs_report.add_argument("--governor", default=None)
+    obs_report.add_argument("--rounds", type=int, default=1)
+    obs_report.add_argument("--seed", type=int, default=0)
+    obs_report.add_argument("--perfetto", default=None, metavar="PATH",
+                            help="write a Perfetto-loadable Chrome trace")
+    obs_report.add_argument("--prom", default=None, metavar="PATH",
+                            help="write a Prometheus text-exposition dump")
+    obs_report.add_argument("--jsonl", default=None, metavar="PATH",
+                            help="write the structured event log as JSONL")
+    obs_report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

@@ -48,6 +48,7 @@ from repro.core.cost import batch_costs
 from repro.core.operating_point import OperatingPoint
 from repro.core.pareto import dominated_mask
 from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.obs import OBS
 from repro.platform.topology import Platform
 
 logger = logging.getLogger(__name__)
@@ -220,23 +221,41 @@ class LagrangianAllocator:
         cached = self._cache_get(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            if OBS.enabled:
+                OBS.counter("allocator.cache", result="hit").inc()
             return self._rebuild_from_cache(requests, cached)
         self.stats.cache_misses += 1
         self.stats.solves += 1
 
-        problem = self._build_problem(requests, len(capacity))
-        local = self._select(requests, problem, np.asarray(capacity, dtype=float))
-        choices = [
-            int(problem.orig_index[i][c]) for i, c in enumerate(local)
-        ]
-        selections = {
-            req.pid: Selection(pid=req.pid, point=req.points[idx])
-            for req, idx in zip(requests, choices)
-        }
-        self._mark_and_place(selections, capacity, reserved or {})
+        with OBS.span(
+            "allocator.solve", track="rm", apps=len(requests), mode=self.mode
+        ):
+            problem = self._build_problem(requests, len(capacity))
+            local = self._select(
+                requests, problem, np.asarray(capacity, dtype=float)
+            )
+            choices = [
+                int(problem.orig_index[i][c]) for i, c in enumerate(local)
+            ]
+            selections = {
+                req.pid: Selection(pid=req.pid, point=req.points[idx])
+                for req, idx in zip(requests, choices)
+            }
+            self._mark_and_place(selections, capacity, reserved or {})
         result.selections = selections
         result.feasible = not any(s.co_allocated for s in selections.values())
         self._cache_put(key, self._cache_entry(requests, choices, result))
+        if OBS.enabled:
+            OBS.counter("allocator.cache", result="miss").inc()
+            OBS.counter("allocator.solves").inc()
+            OBS.counter("allocator.subgradient_iterations").inc(self.iterations)
+            if not result.feasible:
+                OBS.event(
+                    "allocator.co_allocation", track="rm",
+                    apps=sorted(
+                        s.pid for s in selections.values() if s.co_allocated
+                    ),
+                )
         return result
 
     # -- memoization -----------------------------------------------------------------
@@ -360,6 +379,10 @@ class LagrangianAllocator:
                 if dominated.any():
                     keep = np.flatnonzero(~dominated)
                     self.stats.points_pruned += int(dominated.sum())
+                    if OBS.enabled:
+                        OBS.counter("allocator.points_pruned").inc(
+                            int(dominated.sum())
+                        )
                     cost_vec = cost_vec[keep]
                     res_mat = res_mat[keep]
             costs.append(cost_vec)
@@ -523,12 +546,20 @@ class LagrangianAllocator:
         counted so co-allocation fallbacks stay observable.
         """
         self.stats.repair_calls += 1
+        if OBS.enabled:
+            OBS.counter("allocator.repair_calls").inc()
         if self.mode == "reference":
             return self._repair_reference(requests, problem, choice, capacity)
         return self._repair_vectorized(requests, problem, choice, capacity)
 
     def _give_up(self, reason: str, violation: float) -> None:
         self.stats.repair_give_ups += 1
+        if OBS.enabled:
+            OBS.counter("allocator.repair_give_ups").inc()
+            OBS.event(
+                "allocator.repair_give_up", track="rm",
+                reason=reason, residual_violation=violation,
+            )
         logger.debug(
             "allocator repair gave up (%s); residual violation %.3f cores "
             "-> co-allocation fallback", reason, violation,
@@ -572,6 +603,8 @@ class LagrangianAllocator:
                 self._give_up("no improving swap", violation)
                 return choice
             self.stats.repair_steps += 1
+            if OBS.enabled:
+                OBS.counter("allocator.repair_steps").inc()
             _, i, j = best
             choice[i] = j
         self._give_up("step budget exhausted", violation)
@@ -613,6 +646,8 @@ class LagrangianAllocator:
             # path's (app, point) iteration order and strict-less update.
             i, j = divmod(int(np.argmin(penalty)), width)
             self.stats.repair_steps += 1
+            if OBS.enabled:
+                OBS.counter("allocator.repair_steps").inc()
             choice[i] = j
         self._give_up("step budget exhausted", violation)
         return choice

@@ -33,6 +33,7 @@ from repro.core.operating_point import (
 )
 from repro.core.regression import RegressionModel, make_model
 from repro.core.resource_vector import ErvLayout, ExtendedResourceVector
+from repro.obs import OBS
 
 
 def poly_feature_count(n_inputs: int, degree: int = 2) -> int:
@@ -73,7 +74,17 @@ class ExplorationPlanner:
             stage = MaturityStage.REFINEMENT
         else:
             stage = MaturityStage.INITIAL
+        previous = table.stage
         table.stage = stage
+        if stage is not previous and OBS.enabled:
+            OBS.counter(
+                "exploration.stage_transitions", to=stage.value
+            ).inc()
+            OBS.event(
+                "stage_transition", track=f"app:{table.app_name}",
+                app=table.app_name, from_stage=previous.value,
+                to_stage=stage.value, measured=measured,
+            )
         return stage
 
     # -- model fitting -------------------------------------------------------------
@@ -100,6 +111,11 @@ class ExplorationPlanner:
             y_p = np.append(y_p, 0.0)
         model_u = make_model(self.model_name).fit(x, y_u)
         model_p = make_model(self.model_name).fit(x, y_p)
+        if OBS.enabled:
+            OBS.counter(
+                "exploration.model_refits",
+                anchored="true" if anchor_zero else "false",
+            ).inc()
         return model_u, model_p
 
     # -- point selection ---------------------------------------------------------------
@@ -115,6 +131,8 @@ class ExplorationPlanner:
         if not unmeasured:
             return None
         stage = self.stage_of(table)
+        if OBS.enabled:
+            OBS.counter("exploration.points_planned", stage=stage.value).inc()
         if stage is MaturityStage.INITIAL:
             return self._furthest_point(measured_ervs, unmeasured)
         return self._refinement_point(table, unmeasured)
@@ -213,4 +231,6 @@ class ExplorationPlanner:
             point = table.get_or_create(erv)
             if not point.measured:
                 point.set_predicted(utility, power)
+        if OBS.enabled:
+            OBS.counter("exploration.predictions").inc(len(missing))
         return len(missing)

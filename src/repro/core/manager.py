@@ -39,6 +39,8 @@ from repro.ipc.messages import (
     ActivateOperatingPoint,
     DeregisterRequest,
     Message,
+    ObservabilityQuery,
+    ObservabilityReply,
     OperatingPointsMessage,
     RegisterReply,
     RegisterRequest,
@@ -46,6 +48,7 @@ from repro.ipc.messages import (
     UtilityRequest,
 )
 from repro.libharp.adaptivity import AdaptationMode, SimProcessAdapter
+from repro.obs import OBS
 from repro.libharp.client import LibHarpClient
 from repro.sim.engine import AppPerf, ThreadSlot, World
 from repro.sim.process import SimProcess
@@ -208,8 +211,16 @@ class HarpManager:
     def handle_request(self, message: Message) -> Message:
         """Dispatch one libharp request; usable behind a socket server too."""
         self._charge(self.config.cost_per_message_s)
+        if OBS.enabled:
+            OBS.counter("rm.requests", type=message.TYPE).inc()
         if isinstance(message, RegisterRequest):
             return RegisterReply(ok=True, session_id=message.pid)
+        if isinstance(message, ObservabilityQuery):
+            return ObservabilityReply(
+                ok=True,
+                allocator=dict(vars(self.allocator.stats)),
+                registry=OBS.snapshot() if message.include_registry else {},
+            )
         if isinstance(message, OperatingPointsMessage):
             session = self.sessions.get(message.pid)
             if session is None:
@@ -308,6 +319,8 @@ class HarpManager:
         samples = self.monitor.sample(
             [s.pid for s in sessions], app_utilities=utilities
         )
+        if OBS.enabled:
+            OBS.counter("rm.sample_rounds").inc()
         needs_reallocation = False
         for session in sessions:
             sample = samples.get(session.pid)
@@ -330,6 +343,10 @@ class HarpManager:
             )
             session.samples_at_current += 1
             session.measurements_total += 1
+            if OBS.enabled:
+                OBS.counter(
+                    "rm.measurements", app=session.table.app_name
+                ).inc()
             self._on_measurement(session, sample)
             if not self.config.explore:
                 continue
@@ -366,6 +383,15 @@ class HarpManager:
         if not sessions:
             return None
         self.allocation_epochs += 1
+        if not OBS.enabled:
+            return self._reallocate(sessions)
+        with OBS.span(
+            "rm.reallocate", track="rm",
+            epoch=self.allocation_epochs, sessions=len(sessions),
+        ):
+            return self._reallocate(sessions)
+
+    def _reallocate(self, sessions: list[AppSession]) -> AllocationResult:
         self._charge(self.config.cost_per_allocation_s)
         reserve = self.config.background_reserve or {}
         capacity = [
@@ -622,6 +648,15 @@ class HarpManager:
         self, session: AppSession, message: ActivateOperatingPoint
     ) -> None:
         self._charge(self.config.cost_per_message_s)
+        if OBS.enabled:
+            app = session.table.app_name
+            OBS.counter("rm.activations", app=app).inc()
+            OBS.event(
+                "rm.activate", track=f"app:{app}",
+                pid=session.pid, erv=list(message.erv),
+                degree=message.degree, hw_threads=len(message.hw_threads),
+                co_allocated=session.co_allocated,
+            )
         session.skip_next_sample = True
         session.transport.push(message)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.energy import EnergyAttributor
+from repro.obs import OBS
 from repro.sim.engine import World
 from repro.sim.perf import IntervalReader
 
@@ -131,6 +132,20 @@ class SystemMonitor:
         self._last_energy = energy
         self._last_busy = busy
         self._last_time = now
+        if OBS.enabled:
+            OBS.counter("monitor.intervals").inc()
+            OBS.counter("monitor.samples").inc(len(samples))
+            if interval > 0:
+                OBS.gauge("monitor.package_power_w").set(
+                    energy_delta / interval
+                )
+            for pid, sample in samples.items():
+                OBS.gauge("monitor.attributed_power_w", pid=pid).set(
+                    sample.power_w
+                )
+                OBS.counter(
+                    "monitor.utility_source", source=sample.utility_source
+                ).inc()
         return samples
 
     def forget(self, pid: int) -> None:

@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.ipc.messages import Ack, Message
 from repro.ipc.protocol import ProtocolError, recv_message, send_message
+from repro.obs import OBS
 
 PushHandler = Callable[[Message], Message | None]
 
@@ -60,9 +61,15 @@ class HarpSocketClient(Transport):
         self._request_sock.connect(rm_socket_path)
 
     def request(self, message: Message) -> Message:
+        obs_on = OBS.enabled
+        t0 = OBS.walltime() if obs_on else 0.0
         with self._request_lock:
             send_message(self._request_sock, message)
             reply = recv_message(self._request_sock)
+        if obs_on:
+            OBS.histogram(
+                "ipc.request_seconds", type=message.TYPE
+            ).observe(OBS.walltime() - t0)
         if reply is None:
             raise ProtocolError("RM closed the connection")
         return reply
@@ -126,6 +133,8 @@ class InProcessTransport(Transport):
     def request(self, message: Message) -> Message:
         if self._closed:
             raise ProtocolError("transport closed")
+        if OBS.enabled:
+            OBS.counter("ipc.messages", dir="request", type=message.TYPE).inc()
         return self._rm_handler(message)
 
     def set_push_handler(self, handler: PushHandler) -> None:
@@ -135,6 +144,8 @@ class InProcessTransport(Transport):
         """RM side: deliver a push message to the application."""
         if self._closed:
             raise ProtocolError("transport closed")
+        if OBS.enabled:
+            OBS.counter("ipc.messages", dir="push", type=message.TYPE).inc()
         if self._push_handler is None:
             return Ack(ok=False, error="no push handler installed")
         return self._push_handler(message)

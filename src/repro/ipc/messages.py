@@ -13,6 +13,9 @@ control flow:
    concrete hardware threads of the allocation.
 4. ``UtilityRequest`` / ``UtilityReply`` — periodic utility feedback.
 5. ``DeregisterRequest`` — graceful exit.
+6. ``ObservabilityQuery`` / ``ObservabilityReply`` — harpobs extension:
+   allocator hot-path counters and a telemetry-registry snapshot, for
+   dashboards and operator tooling (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -119,6 +122,34 @@ class DeregisterRequest(Message):
 
 
 @dataclass(frozen=True)
+class ObservabilityQuery(Message):
+    """Client → RM: request allocator stats and a telemetry snapshot.
+
+    Part of the harpobs layer (``docs/observability.md``): any connected
+    client (an application, a dashboard scraper, an operator tool) can ask
+    the RM for its solver hot-path counters and the metric snapshot of the
+    telemetry registry without touching the RM process.
+    """
+
+    TYPE = "observability_query"
+
+    pid: int = 0
+    include_registry: bool = True
+
+
+@dataclass(frozen=True)
+class ObservabilityReply(Message):
+    """RM → client: allocator counters plus the registry snapshot."""
+
+    TYPE = "observability_reply"
+
+    ok: bool = True
+    allocator: dict[str, float] = field(default_factory=dict)
+    registry: dict[str, object] = field(default_factory=dict)
+    error: str | None = None
+
+
+@dataclass(frozen=True)
 class Ack(Message):
     """Generic acknowledgement."""
 
@@ -138,6 +169,8 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
         UtilityRequest,
         UtilityReply,
         DeregisterRequest,
+        ObservabilityQuery,
+        ObservabilityReply,
         Ack,
     )
 }

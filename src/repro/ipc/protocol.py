@@ -12,6 +12,7 @@ from repro.ipc.messages import (
     decode_message,
     encode_message,
 )
+from repro.obs import OBS
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -45,7 +46,11 @@ class FrameCodec:
 
 def send_message(sock: socket.socket, message: Message) -> None:
     """Write one framed message to a connected socket."""
-    sock.sendall(FrameCodec.encode(message))
+    frame = FrameCodec.encode(message)
+    if OBS.enabled:
+        OBS.counter("ipc.frames", dir="send", type=message.TYPE).inc()
+        OBS.counter("ipc.bytes", dir="send", type=message.TYPE).inc(len(frame))
+    sock.sendall(frame)
 
 
 def recv_message(sock: socket.socket) -> Message | None:
@@ -58,7 +63,13 @@ def recv_message(sock: socket.socket) -> Message | None:
         raise ProtocolError(f"frame too large: {length} bytes")
     body = _recv_exact(sock, length, allow_eof=False)
     assert body is not None
-    return FrameCodec.decode(body)
+    message = FrameCodec.decode(body)
+    if OBS.enabled:
+        OBS.counter("ipc.frames", dir="recv", type=message.TYPE).inc()
+        OBS.counter("ipc.bytes", dir="recv", type=message.TYPE).inc(
+            _HEADER.size + length
+        )
+    return message
 
 
 def _recv_exact(

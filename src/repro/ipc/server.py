@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.ipc.messages import Ack, Message
 from repro.ipc.protocol import ProtocolError, recv_message, send_message
+from repro.obs import OBS
 
 Handler = Callable[[Message], Message | None]
 
@@ -98,8 +99,16 @@ class HarpSocketServer:
             return False
         try:
             send_message(sock, message)
+            if OBS.enabled:
+                OBS.counter(
+                    "ipc.pushes", type=message.TYPE, delivered="true"
+                ).inc()
             return True
         except OSError:
+            if OBS.enabled:
+                OBS.counter(
+                    "ipc.pushes", type=message.TYPE, delivered="false"
+                ).inc()
             self.close_push_channel(pid)
             return False
 
@@ -137,10 +146,17 @@ class HarpSocketServer:
                     return
                 if message is None:
                     return
+                obs_on = OBS.enabled
+                t0 = OBS.walltime() if obs_on else 0.0
                 try:
                     reply = self.handler(message)
                 except Exception as exc:  # handler bug must not kill the RM
                     reply = Ack(ok=False, error=f"handler error: {exc}")
+                if obs_on:
+                    OBS.counter("ipc.handled", type=message.TYPE).inc()
+                    OBS.histogram(
+                        "ipc.handler_seconds", type=message.TYPE
+                    ).observe(OBS.walltime() - t0)
                 if reply is not None:
                     try:
                         send_message(conn, reply)

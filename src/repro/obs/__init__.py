@@ -1,0 +1,50 @@
+"""harpobs — unified telemetry for the HARP reproduction.
+
+A dependency-free observability layer: a process-local :class:`Registry`
+of counters/gauges/histograms, structured events timestamped with the
+monotonic simulated clock, and nestable spans, exported as Chrome
+trace-event JSON (Perfetto), Prometheus text exposition, or a JSONL event
+log.  See ``docs/observability.md``.
+
+The module-level default registry :data:`OBS` starts **disabled**; every
+instrumentation site across the allocator, manager, exploration planner,
+monitor, IPC layer, and simulation engine guards itself with a single
+``OBS.enabled`` attribute check, so telemetry costs nothing until someone
+calls ``OBS.enable()`` (or runs ``python -m repro obs-report``).
+"""
+
+from repro.obs.exporters import (
+    render_summary,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus_text,
+)
+from repro.obs.registry import (
+    OBS,
+    Counter,
+    Event,
+    Gauge,
+    Histogram,
+    Registry,
+    Span,
+)
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "render_summary",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus_text",
+]

@@ -1,0 +1,294 @@
+"""Exporters for the harpobs registry.
+
+Three formats, one source of truth:
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) — loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Simulated
+  seconds map to trace microseconds (1 sim second == 1e6 ts units); each
+  registry *track* (``rm``, ``app:<name>``, ``ipc``, …) becomes its own
+  named thread row.  Spans become complete ``"X"`` events whose duration
+  is the measured wall time (the simulated clock stands still inside an
+  allocation epoch, so wall time is the only meaningful span length;
+  ``args.wall_us`` and ``args.sim_dur_s`` keep both readable).  Instant
+  events become thread-scoped ``"i"`` events, and final counter values are
+  emitted as one ``"C"`` sample each at the trace end.
+* **Prometheus text exposition** (:func:`to_prometheus_text`) — a
+  point-in-time dump of all counters/gauges/histograms in the 0.0.4 text
+  format, suitable for ``curl``-style scraping or file-based ingestion.
+* **JSONL event log** (:func:`to_jsonl`) — one JSON object per event,
+  newline separated, for ad-hoc ``jq``/pandas analysis.
+
+All exporters only *read* the registry; exporting a disabled registry is
+valid (it dumps whatever was recorded while it was enabled).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import Histogram, Registry
+
+__all__ = [
+    "render_summary",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus_text",
+]
+
+_TRACE_PID = 1
+_PROM_PREFIX = "harp_"
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return _PROM_PREFIX + safe
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# -- Chrome trace-event JSON (Perfetto) ---------------------------------------------
+
+
+def to_chrome_trace(registry: Registry) -> dict:
+    """Registry → Chrome trace-event JSON object (Perfetto-loadable)."""
+    events = registry.events
+    # Stable track→tid mapping in first-appearance order, so per-app
+    # tracks show up in the order applications entered the system.
+    tids: dict[str, int] = {}
+    for event in events:
+        if event.track not in tids:
+            tids[event.track] = len(tids) + 1
+
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": "harp (sim-time µs)"},
+        }
+    ]
+    for track, tid in tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    end_ts = 0.0
+    for event in events:
+        ts_us = event.ts_s * 1e6
+        if ts_us > end_ts:
+            end_ts = ts_us
+        common = {
+            "name": event.name,
+            "pid": _TRACE_PID,
+            "tid": tids[event.track],
+            "ts": ts_us,
+        }
+        if event.kind == "span":
+            wall_us = (event.wall_s or 0.0) * 1e6
+            args = dict(event.args, wall_us=wall_us, depth=event.depth)
+            trace_events.append(
+                {**common, "ph": "X", "dur": wall_us, "args": args}
+            )
+        else:
+            trace_events.append(
+                {**common, "ph": "i", "s": "t", "args": dict(event.args)}
+            )
+
+    for counter in registry.counters():
+        series = counter.name
+        if counter.labels:
+            series += _label_str(counter.labels)
+        trace_events.append(
+            {
+                "name": series,
+                "ph": "C",
+                "pid": _TRACE_PID,
+                "tid": 0,
+                "ts": end_ts,
+                "args": {"value": counter.value},
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "harpobs",
+            "time_mapping": "1 simulated second == 1e6 trace ts units",
+            "dropped_events": registry.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(registry: Registry, path: str | Path) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    Path(path).write_text(json.dumps(to_chrome_trace(registry), indent=1) + "\n")
+
+
+# -- Prometheus text exposition ------------------------------------------------------
+
+
+def _histogram_lines(histogram: Histogram) -> list[str]:
+    name = _metric_name(histogram.name)
+    lines = []
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+        cumulative += count
+        lines.append(
+            f"{name}_bucket"
+            f"{_label_str(histogram.labels, {'le': _fmt(bound)})}"
+            f" {cumulative}"
+        )
+    lines.append(
+        f"{name}_bucket{_label_str(histogram.labels, {'le': '+Inf'})}"
+        f" {histogram.count}"
+    )
+    lines.append(f"{name}_sum{_label_str(histogram.labels)} {repr(histogram.sum)}")
+    lines.append(f"{name}_count{_label_str(histogram.labels)} {histogram.count}")
+    return lines
+
+
+def to_prometheus_text(registry: Registry) -> str:
+    """Registry → Prometheus text-exposition dump (format 0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        name = _metric_name(counter.name)
+        header(name, "counter")
+        lines.append(f"{name}{_label_str(counter.labels)} {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        name = _metric_name(gauge.name)
+        header(name, "gauge")
+        lines.append(f"{name}{_label_str(gauge.labels)} {repr(gauge.value)}")
+    for histogram in registry.histograms():
+        name = _metric_name(histogram.name)
+        header(name, "histogram")
+        lines.extend(_histogram_lines(histogram))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus_text(registry: Registry, path: str | Path) -> None:
+    """Write :func:`to_prometheus_text` output to ``path``."""
+    Path(path).write_text(to_prometheus_text(registry))
+
+
+# -- JSONL event log ----------------------------------------------------------------
+
+
+def to_jsonl(registry: Registry) -> str:
+    """Registry events → newline-delimited JSON, one object per event."""
+    lines = []
+    for event in registry.events:
+        record = {
+            "seq": event.seq,
+            "ts_s": event.ts_s,
+            "name": event.name,
+            "kind": event.kind,
+            "track": event.track,
+        }
+        if event.kind == "span":
+            record["wall_s"] = event.wall_s
+            record["depth"] = event.depth
+        if event.args:
+            record["args"] = event.args
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_jsonl(registry: Registry, path: str | Path) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    Path(path).write_text(to_jsonl(registry))
+
+
+# -- human-readable summary ----------------------------------------------------------
+
+
+def render_summary(registry: Registry) -> str:
+    """Text report of all instruments plus span aggregates, for the CLI."""
+    lines: list[str] = []
+    counters = registry.counters()
+    if counters:
+        lines.append("counters:")
+        for counter in counters:
+            key = f"{counter.name}{_label_str(counter.labels)}"
+            lines.append(f"  {key:<52} {_fmt(counter.value):>12}")
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("gauges:")
+        for gauge in gauges:
+            key = f"{gauge.name}{_label_str(gauge.labels)}"
+            lines.append(f"  {key:<52} {gauge.value:>12.4g}")
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("histograms:")
+        for histogram in histograms:
+            key = f"{histogram.name}{_label_str(histogram.labels)}"
+            if histogram.count:
+                stats = (
+                    f"n={histogram.count} mean={histogram.mean():.3g}"
+                    f" min={histogram.min:.3g} max={histogram.max:.3g}"
+                )
+            else:
+                stats = "n=0"
+            lines.append(f"  {key:<52} {stats}")
+
+    # Span aggregates: total/mean wall time per (track, name).
+    span_agg: dict[tuple[str, str], list[float]] = {}
+    n_instants = 0
+    for event in registry.events:
+        if event.kind == "span":
+            span_agg.setdefault((event.track, event.name), []).append(
+                event.wall_s or 0.0
+            )
+        else:
+            n_instants += 1
+    if span_agg:
+        lines.append("spans (wall time):")
+        for (track, name), walls in sorted(span_agg.items()):
+            lines.append(
+                f"  {track + '/' + name:<52} n={len(walls):<6}"
+                f" total={sum(walls) * 1e3:.2f}ms"
+                f" mean={sum(walls) / len(walls) * 1e6:.1f}µs"
+            )
+    lines.append(
+        f"events: {len(registry.events)} recorded"
+        f" ({n_instants} instants), {registry.dropped_events} dropped"
+    )
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Callable, NamedTuple
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.platform.dvfs import Governor, PerformanceGovernor
 from repro.platform.power import STATIC_FRACTION, CorePowerModel, PlatformPowerModel
 from repro.platform.sensors import EnergySensor
@@ -149,6 +150,13 @@ class World:
         self._group_starts = np.concatenate(
             ([0], np.cumsum([len(c.hw_threads) for c in cores])[:-1])
         ).astype(int)
+        # The most recently constructed world owns the telemetry clock:
+        # event timestamps are its monotonic simulated time.
+        OBS.set_clock(lambda: self.time_s)
+        # Per-tick instrument handles, resolved lazily and invalidated by
+        # registry resets — step() runs tens of thousands of times, so it
+        # must not pay the name→instrument lookup on every tick.
+        self._obs_handles: tuple | None = None
 
     # -- workload management --------------------------------------------------
 
@@ -174,6 +182,12 @@ class World:
         )
         self._next_pid += 1
         self.processes[process.pid] = process
+        if OBS.enabled:
+            OBS.event(
+                "process.start", track=f"app:{model.name}",
+                pid=process.pid, name=model.name, nthreads=nthreads,
+                daemon=daemon, managed=managed,
+            )
         for callback in self.on_process_start:
             callback(process)
         return process
@@ -181,10 +195,25 @@ class World:
     def running_processes(self) -> list[SimProcess]:
         return [p for p in self.processes.values() if not p.finished]
 
+    def _obs_hot(self) -> tuple:
+        """Cached handles for the per-tick instruments (hot path)."""
+        handles = self._obs_handles
+        if handles is None or handles[0] != OBS.generation:
+            handles = self._obs_handles = (
+                OBS.generation,
+                OBS.counter("sim.ticks"),
+                OBS.histogram("sim.tick_seconds"),
+                OBS.counter("sim.placement_cache", result="hit"),
+                OBS.counter("sim.placement_cache", result="miss"),
+            )
+        return handles
+
     # -- stepping ----------------------------------------------------------------
 
     def step(self) -> TickStats:
         """Advance the world by one tick."""
+        obs_on = OBS.enabled
+        t0_wall = OBS.walltime() if obs_on else 0.0
         dt = self.tick_s
         running = self.running_processes()
         placement = self._placement_for(running)
@@ -302,12 +331,21 @@ class World:
         just_finished = [p for p in running if p.finished]
         self.time_s += dt
         for process in just_finished:
+            if obs_on:
+                OBS.event(
+                    "process.exit", track=f"app:{process.model.name}",
+                    pid=process.pid, name=process.model.name,
+                )
             for callback in process.on_finish:
                 callback(process)
             for callback in self.on_process_exit:
                 callback(process)
         for callback in self.on_tick:
             callback(self)
+        if obs_on:
+            handles = self._obs_hot()
+            handles[1].inc()
+            handles[2].observe(OBS.walltime() - t0_wall)
         return stats
 
     def run_for(self, seconds: float) -> None:
@@ -351,12 +389,16 @@ class World:
         if self.vectorized:
             sig = self.scheduler.placement_signature(self)
             if sig is not None and sig == self._placement_sig:
+                if OBS.enabled:
+                    self._obs_hot()[3].inc()
                 return self._placement_cache
             placement = self.scheduler.place(self)
             self._validate_placement(placement)
             if sig is not None:
                 self._placement_sig = sig
                 self._placement_cache = placement
+            if OBS.enabled:
+                self._obs_hot()[4].inc()
             return placement
         placement = self.scheduler.place(self)
         self._validate_placement(placement)

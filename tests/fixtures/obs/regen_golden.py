@@ -1,0 +1,24 @@
+"""Regenerate the Perfetto export golden file.
+
+Run after an *intentional* change to the Chrome-trace export format::
+
+    PYTHONPATH=src:tests python tests/fixtures/obs/regen_golden.py
+
+then review the diff of ``perfetto_golden.json`` before committing.
+"""
+
+import json
+
+from test_obs import GOLDEN_PATH, _golden_registry
+
+from repro.obs import to_chrome_trace
+
+
+def main() -> None:
+    trace = to_chrome_trace(_golden_registry())
+    GOLDEN_PATH.write_text(json.dumps(trace, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

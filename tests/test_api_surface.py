@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.libharp",
     "repro.ipc",
     "repro.dse",
+    "repro.obs",
     "repro.analysis",
     "repro.ext",
     "repro.cli",

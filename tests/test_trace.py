@@ -79,11 +79,29 @@ class TestWorldTracer:
         assert "#" in text
 
     def test_empty_trace(self, intel):
+        # Both accessors are benign on an empty trace: no exceptions.
         world = _world(intel)
         tracer = WorldTracer(world)
         assert tracer.timeline() == "(empty trace)"
-        with pytest.raises(ValueError):
-            tracer.average_power_w()
+        assert tracer.average_power_w() == 0.0
+
+    def test_timeline_matches_naive_nearest_scan(self, intel):
+        # The bisect-based column lookup must agree with the O(n·width)
+        # min() scan it replaced.
+        world = _world(intel)
+        tracer = WorldTracer(world, interval_s=0.05)
+        world.spawn(ApplicationModel(name="a", total_work=0.6), nthreads=2)
+        world.run_for(0.4)
+        world.spawn(ApplicationModel(name="b", total_work=0.6), nthreads=2)
+        world.run_until_all_finished()
+        width = 37
+        end = tracer.samples[-1].time_s or 1e-9
+        times = [s.time_s for s in tracer.samples]
+        for col in range(width):
+            t = end * (col + 0.5) / width
+            fast = tracer._nearest_sample(times, t)
+            naive = min(tracer.samples, key=lambda s: abs(s.time_s - t))
+            assert abs(fast.time_s - t) == abs(naive.time_s - t)
 
     def test_average_power_positive(self, intel):
         world = _world(intel)
