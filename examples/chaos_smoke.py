@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Chaos smoke — a seeded fault plan, run twice, must be bit-identical.
+
+Runs a two-application workload on the simulated Raptor Lake while a
+deterministic fault plan (an application crash plus garbage frames on
+the request path) fires mid-run, then repeats the exact same run and
+diffs the results.  Any divergence — in makespan, package energy,
+per-type energy, or the fault audit log — is a determinism regression
+and exits non-zero.  This is the CI chaos-smoke contract from
+docs/robustness.md.
+
+Usage::
+
+    python examples/chaos_smoke.py
+    python examples/chaos_smoke.py --seed 11 --obs chaos_trace.json
+"""
+
+import argparse
+import sys
+
+from repro.apps import npb_model, tflite_model
+from repro.core.manager import HarpManager, ManagerConfig
+from repro.fault import Fault, FaultKind, FaultPlan, SimFaultInjector
+from repro.platform.dvfs import make_governor
+from repro.platform.topology import raptor_lake_i9_13900k
+from repro.sim.engine import World
+from repro.sim.schedulers.pinned import PinnedScheduler
+
+
+def chaos_run(seed: int) -> dict:
+    """One faulted run; returns everything that must be reproducible."""
+    platform = raptor_lake_i9_13900k()
+    world = World(platform, PinnedScheduler(),
+                  governor=make_governor("powersave", platform), seed=seed)
+    manager = HarpManager(world, ManagerConfig())
+    plan = FaultPlan([
+        Fault(at_s=0.5, kind=FaultKind.APP_CRASH, target="vgg"),
+        Fault(at_s=0.7, kind=FaultKind.GARBAGE_FRAME),
+        Fault(at_s=0.9, kind=FaultKind.GARBAGE_FRAME),
+    ], seed=seed)
+    injector = SimFaultInjector(world, manager, plan)
+    world.spawn(tflite_model("vgg"), managed=True)
+    world.spawn(npb_model("ep.C"), managed=True)
+    makespan = world.run_until_all_finished(max_seconds=300)
+    assert injector.done(), "fault plan did not fully fire"
+    assert injector.manager.sessions_reaped >= 1, "crash was not reaped"
+    return {
+        "makespan_s": makespan,
+        "energy_j": world.total_energy_j(),
+        "energy_by_type_j": dict(world.energy_by_type_j),
+        "fault_log": injector.log,
+        "sessions_reaped": injector.manager.sessions_reaped,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--obs", default=None, metavar="TRACE_JSON",
+                        help="record telemetry and write a Perfetto trace")
+    args = parser.parse_args()
+    if args.obs:
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+
+    print(f"=== HARP chaos smoke (seed {args.seed}) ===\n")
+    first = chaos_run(args.seed)
+    second = chaos_run(args.seed)
+
+    print(f"run 1: makespan {first['makespan_s']:.2f} s, "
+          f"energy {first['energy_j']:.1f} J, "
+          f"{first['sessions_reaped']} session(s) reaped")
+    print(f"run 2: makespan {second['makespan_s']:.2f} s, "
+          f"energy {second['energy_j']:.1f} J, "
+          f"{second['sessions_reaped']} session(s) reaped")
+    for entry in first["fault_log"]:
+        print(f"  fault {entry['kind']:>14} at {entry['at_s']:.2f} s "
+              f"(pid {entry['pid']}, applied={entry['applied']})")
+
+    if args.obs:
+        import json
+
+        from repro.obs import OBS
+        from repro.obs.exporters import to_chrome_trace
+
+        with open(args.obs, "w") as fh:
+            json.dump(to_chrome_trace(OBS), fh)
+        print(f"\nPerfetto trace written to {args.obs}")
+
+    if first != second:
+        diffs = [k for k in first if first[k] != second[k]]
+        print(f"\nFAIL: faulted runs diverged in {diffs}", file=sys.stderr)
+        return 1
+    print("\nOK: both faulted runs are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -654,6 +654,21 @@ class LagrangianAllocator:
 
     # -- phase 3: placement ---------------------------------------------------------------
 
+    def place_selections(
+        self,
+        selections: dict[int, Selection],
+        capacity: list[int],
+        reserved: dict[str, int] | None = None,
+    ) -> None:
+        """Public placement entry point for externally built selections.
+
+        Used by the RM's graceful-degradation path: when the MMKP solve
+        fails, the manager builds fair-share selections itself and only
+        needs the deterministic disjoint placement (with co-allocation
+        overflow) that the solver normally runs as its phase 3.
+        """
+        self._mark_and_place(selections, capacity, reserved)
+
     def _mark_and_place(
         self,
         selections: dict[int, Selection],

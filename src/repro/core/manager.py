@@ -15,6 +15,7 @@ reproducing the §6.6 overhead experiment.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass, field
 
@@ -22,6 +23,7 @@ from repro.core.allocator import (
     AllocationRequest,
     AllocationResult,
     LagrangianAllocator,
+    Selection,
 )
 from repro.core.energy import EnergyAttributor
 from repro.core.exploration import ExplorationPlanner
@@ -47,6 +49,7 @@ from repro.ipc.messages import (
     UtilityReply,
     UtilityRequest,
 )
+from repro.ipc.protocol import ProtocolError
 from repro.libharp.adaptivity import AdaptationMode, SimProcessAdapter
 from repro.obs import OBS
 from repro.libharp.client import LibHarpClient
@@ -126,6 +129,16 @@ class ManagerConfig:
     # evaluation variant leaves this empty and lets background work
     # time-share with the managed applications).
     background_reserve: dict[str, int] | None = None
+    # Liveness (docs/robustness.md): a session whose process has not been
+    # observed alive for this long (simulated seconds) is considered
+    # crashed and reaped.  Healthy sessions refresh the lease on every
+    # monitoring sample, so the effective lease is clamped to at least
+    # three measure intervals and never expires for a live process.
+    lease_s: float = 0.5
+    # Consecutive unanswered utility polls after which a
+    # utility-providing application counts as hung (feedback starvation)
+    # and is reaped.
+    utility_miss_limit: int = 3
 
 
 @dataclass
@@ -152,6 +165,14 @@ class AppSession:
     # The first interval after a reconfiguration straddles both
     # configurations; its sample is discarded.
     skip_next_sample: bool = False
+    # Liveness state: when the RM last saw the process alive (a monitor
+    # sample or a libharp request), and how many utility polls in a row
+    # went unanswered.
+    last_seen_s: float = 0.0
+    utility_misses: int = 0
+    # Fault hook: extra latency applied to activation pushes for this
+    # session (simulated seconds), modelling a slow reply channel.
+    reply_delay_s: float = 0.0
 
     def stage(self) -> MaturityStage:
         return self.table.stage
@@ -198,10 +219,26 @@ class HarpManager:
         self.allocation_epochs = 0
         self._all_ervs = self.layout.enumerate_all()
         self._next_sample_s = 0.0
+        # Robustness counters and fault hooks (docs/robustness.md).
+        self.sessions_reaped = 0
+        self.solver_fallbacks = 0
+        self.push_failures = 0
+        # Fault hook: the next N allocator solves raise, exercising the
+        # fair-share degradation path.
+        self.fault_solver_failures = 0
+        self._reallocating = False
+        self._reap_during_realloc = False
+        self._shut_down = False
+        # Session state carried over from a restored snapshot, keyed by
+        # pid, consumed by adopt_running().
+        self._session_backlog: dict[int, dict] = {}
         self._rm_model: RmDaemonModel | None = None
+        self._rm_process: SimProcess | None = None
         if self.config.model_overhead:
             self._rm_model = RmDaemonModel(tick_hint_s=world.tick_s)
-            world.spawn(self._rm_model, nthreads=1, daemon=True)
+            self._rm_process = world.spawn(
+                self._rm_model, nthreads=1, daemon=True
+            )
         world.on_process_start.append(self._on_process_start)
         world.on_process_exit.append(self._on_process_exit)
         world.on_tick.append(self._on_tick)
@@ -213,6 +250,10 @@ class HarpManager:
         self._charge(self.config.cost_per_message_s)
         if OBS.enabled:
             OBS.counter("rm.requests", type=message.TYPE).inc()
+        # Any request from a known application refreshes its liveness lease.
+        known = self.sessions.get(getattr(message, "pid", -1))
+        if known is not None:
+            known.last_seen_s = self.world.time_s
         if isinstance(message, RegisterRequest):
             return RegisterReply(ok=True, session_id=message.pid)
         if isinstance(message, ObservabilityQuery):
@@ -261,6 +302,7 @@ class HarpManager:
             table=table,
         )
         # Registration must exist before the points message arrives.
+        session.last_seen_s = self.world.time_s
         self.sessions[process.pid] = session
         session.client.register()
         session.provides_utility = adapter.provides_utility
@@ -282,18 +324,63 @@ class HarpManager:
     def _on_tick(self, world: World) -> None:
         now = world.time_s
         # Apply deferred activations (registration/communication latency).
-        for session in self.sessions.values():
+        # A failed push reaps its session, so iterate over a copy.
+        for session in list(self.sessions.values()):
             if (
                 session.pending_activation is not None
                 and session.activation_due_s is not None
                 and now >= session.activation_due_s
             ):
-                self._push_activation(session, session.pending_activation)
+                message = session.pending_activation
                 session.pending_activation = None
                 session.activation_due_s = None
+                self._push_activation(session, message)
         if now + 1e-9 >= self._next_sample_s:
             self._next_sample_s = now + self.config.measure_interval_s
             self._sample_all()
+        self._check_leases(now)
+
+    # -- liveness (docs/robustness.md) ------------------------------------------------
+
+    def _lease_s(self) -> float:
+        """Effective lease: never shorter than three monitoring intervals,
+        so a healthy session cannot expire between samples."""
+        return max(self.config.lease_s, 3.0 * self.config.measure_interval_s)
+
+    def _check_leases(self, now: float) -> None:
+        lease = self._lease_s()
+        for session in list(self.sessions.values()):
+            if now - session.last_seen_s > lease:
+                self._reap_session(session.pid, reason="lease-expired")
+
+    def _reap_session(self, pid: int, reason: str) -> None:
+        """Tear down a dead/hung/unreachable session and reclaim its cores.
+
+        The session's cores return to the pool simply by the session no
+        longer appearing in the next allocation epoch, which is triggered
+        here so the remaining applications expand immediately.
+        """
+        session = self.sessions.pop(pid, None)
+        if session is None:
+            return
+        self.monitor.forget(pid)
+        self.sessions_reaped += 1
+        self._charge(self.config.cost_per_message_s)
+        if OBS.enabled:
+            OBS.counter("rm.sessions_reaped", reason=reason).inc()
+            OBS.counter("rm.faults_detected", kind=reason).inc()
+            OBS.event(
+                "rm.reap", track="rm",
+                pid=pid, app=session.table.app_name, reason=reason,
+            )
+        with contextlib.suppress(ProtocolError):
+            session.transport.close()
+        if self._reallocating:
+            # Reaped from inside an allocation epoch (push failure):
+            # defer the re-run until the current epoch unwinds.
+            self._reap_during_realloc = True
+        elif self.sessions:
+            self.reallocate()
 
     # -- monitoring & exploration progress -------------------------------------------
 
@@ -307,18 +394,37 @@ class HarpManager:
             return
         self._charge(self.config.cost_per_sample_s * len(sessions))
         utilities: dict[int, float | None] = {}
+        starved: list[int] = []
         if self.config.utility_polling:
             for session in sessions:
-                if session.provides_utility:
+                if not session.provides_utility:
+                    continue
+                try:
                     reply = session.transport.push(
                         UtilityRequest(pid=session.pid)
                     )
-                    self._charge(self.config.cost_per_message_s)
-                    if isinstance(reply, UtilityReply):
-                        utilities[session.pid] = reply.utility
+                except ProtocolError:
+                    reply = None
+                self._charge(self.config.cost_per_message_s)
+                if isinstance(reply, UtilityReply):
+                    utilities[session.pid] = reply.utility
+                    session.utility_misses = 0
+                else:
+                    # Unanswered poll: the application is alive (it burns
+                    # CPU) but its feedback loop is starved — after a few
+                    # consecutive misses, treat it as hung.
+                    session.utility_misses += 1
+                    if OBS.enabled:
+                        OBS.counter("rm.utility_misses").inc()
+                    if session.utility_misses >= self.config.utility_miss_limit:
+                        starved.append(session.pid)
         samples = self.monitor.sample(
             [s.pid for s in sessions], app_utilities=utilities
         )
+        # A monitoring sample proves the process existed this interval.
+        for session in sessions:
+            if session.pid in samples:
+                session.last_seen_s = self.world.time_s
         if OBS.enabled:
             OBS.counter("rm.sample_rounds").inc()
         needs_reallocation = False
@@ -366,7 +472,10 @@ class HarpManager:
             else:
                 if session.samples_at_current >= self.config.measurements_per_point:
                     needs_reallocation = True
-        if needs_reallocation:
+        for pid in starved:
+            # Each reap already triggers a reallocation for the survivors.
+            self._reap_session(pid, reason="utility-starvation")
+        if needs_reallocation and not starved:
             self.reallocate()
 
     def _on_measurement(self, session: AppSession, sample) -> None:
@@ -377,19 +486,34 @@ class HarpManager:
 
     def reallocate(self) -> AllocationResult | None:
         """Run the two-stage algorithm of §5.3: allocate, then explore."""
+        if self._reallocating:
+            # Re-entered from inside an epoch (a push failure reaped a
+            # session): run again once the current epoch unwinds.
+            self._reap_during_realloc = True
+            return None
         sessions = [
             s for s in self.sessions.values() if not s.process.finished
         ]
         if not sessions:
             return None
         self.allocation_epochs += 1
-        if not OBS.enabled:
-            return self._reallocate(sessions)
-        with OBS.span(
-            "rm.reallocate", track="rm",
-            epoch=self.allocation_epochs, sessions=len(sessions),
-        ):
-            return self._reallocate(sessions)
+        self._reallocating = True
+        try:
+            if not OBS.enabled:
+                result = self._reallocate(sessions)
+            else:
+                with OBS.span(
+                    "rm.reallocate", track="rm",
+                    epoch=self.allocation_epochs, sessions=len(sessions),
+                ):
+                    result = self._reallocate(sessions)
+        finally:
+            self._reallocating = False
+        if self._reap_during_realloc:
+            self._reap_during_realloc = False
+            if self.sessions:
+                self.reallocate()
+        return result
 
     def _reallocate(self, sessions: list[AppSession]) -> AllocationResult:
         self._charge(self.config.cost_per_allocation_s)
@@ -445,11 +569,28 @@ class HarpManager:
                 )
             )
 
-        result = self.allocator.allocate(
-            requests,
-            self.world.platform.capacity_vector(),
-            reserved=reserve or None,
-        )
+        try:
+            if self.fault_solver_failures > 0:
+                self.fault_solver_failures -= 1
+                raise RuntimeError("injected solver failure")
+            result = self.allocator.allocate(
+                requests,
+                self.world.platform.capacity_vector(),
+                reserved=reserve or None,
+            )
+        except Exception as exc:
+            # Graceful degradation (docs/robustness.md): a failed MMKP
+            # solve must not leave the system without an allocation.  Fall
+            # back to the fair-share split used during exploration and
+            # place it with the solver's deterministic placement phase.
+            self.solver_fallbacks += 1
+            if OBS.enabled:
+                OBS.counter("rm.solver_fallbacks").inc()
+                OBS.event(
+                    "rm.solver_fallback", track="rm", error=str(exc),
+                    sessions=len(sessions),
+                )
+            result = self._fair_share_result(sessions, reserve)
 
         # Stage 2: exploration within assigned bounds plus the free cores
         # (excluding any background reservation).
@@ -466,6 +607,8 @@ class HarpManager:
         explorer_regions = self._split_free_cores(result, explorers, free_by_type)
 
         for session in sessions:
+            if session.pid not in self.sessions:
+                continue  # reaped earlier in this epoch (push failure)
             selection = result.selections[session.pid]
             session.co_allocated = selection.co_allocated
             if session in explorers:
@@ -503,6 +646,34 @@ class HarpManager:
             )
             counts[(biggest.name, biggest.smt)] = 1
         return self.layout.from_counts(counts)
+
+    def _fair_share_result(
+        self, sessions: list[AppSession], reserve: dict[str, int]
+    ) -> AllocationResult:
+        """Degraded allocation: every application gets the fair share.
+
+        Built without the solver, then placed through the allocator's
+        deterministic phase-3 placement (co-allocation overflow included),
+        so the degraded epoch obeys the same disjointness and
+        background-reserve rules as a normal one.
+        """
+        fair_erv = self._fair_share_erv(len(sessions))
+        selections = {
+            s.pid: Selection(
+                pid=s.pid,
+                point=OperatingPoint(erv=fair_erv, utility=1.0, power=1.0),
+            )
+            for s in sessions
+        }
+        self.allocator.place_selections(
+            selections,
+            self.world.platform.capacity_vector(),
+            reserved=reserve or None,
+        )
+        return AllocationResult(
+            selections=selections,
+            feasible=not any(s.co_allocated for s in selections.values()),
+        )
 
     def _assigned_core_ids(self, result: AllocationResult) -> set[int]:
         core_of_hw = {
@@ -631,22 +802,37 @@ class HarpManager:
         if not changed:
             return
         # Initial activation is deferred by the registration/communication
-        # latency; later pushes apply immediately.
+        # latency; later pushes apply immediately (unless a fault-injected
+        # reply delay is active on the session).
         if session.client.activations == 0:
             session.activation_due_s = (
-                session.process.start_time_s + self.config.startup_delay_s
+                session.process.start_time_s
+                + self.config.startup_delay_s
+                + session.reply_delay_s
             )
             if self.world.time_s >= session.activation_due_s:
                 session.pending_activation = None
+                session.activation_due_s = None
                 self._push_activation(session, message)
             else:
                 session.pending_activation = message
+        elif session.reply_delay_s > 0:
+            session.pending_activation = message
+            session.activation_due_s = self.world.time_s + session.reply_delay_s
         else:
             self._push_activation(session, message)
 
     def _push_activation(
         self, session: AppSession, message: ActivateOperatingPoint
-    ) -> None:
+    ) -> bool:
+        """Push an activation; returns False (and tears the session down)
+        when delivery failed.
+
+        An application that cannot receive activations is unmanageable:
+        the RM would keep accounting cores to a configuration the
+        application never applied, so a failed push escalates to session
+        teardown and the cores are reclaimed.
+        """
         self._charge(self.config.cost_per_message_s)
         if OBS.enabled:
             app = session.table.app_name
@@ -658,11 +844,154 @@ class HarpManager:
                 co_allocated=session.co_allocated,
             )
         session.skip_next_sample = True
-        session.transport.push(message)
+        try:
+            reply = session.transport.push(message)
+        except ProtocolError:
+            reply = None
+        delivered = reply is not None and not (
+            isinstance(reply, Ack) and not reply.ok
+        )
+        if not delivered:
+            self.push_failures += 1
+            if OBS.enabled:
+                OBS.counter(
+                    "rm.push_failures", app=session.table.app_name
+                ).inc()
+            self._reap_session(session.pid, reason="push-failure")
+            return False
+        return True
 
     def _charge(self, seconds: float) -> None:
         if self._rm_model is not None:
             self._rm_model.charge(seconds)
+
+    # -- RM crash recovery (docs/robustness.md) ------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible durable state for RM crash recovery.
+
+        Captures what a restarted RM cannot re-derive: the learned
+        operating-point tables with their maturity stages, the learning
+        timeline, and per-session exploration progress.  Live allocations
+        are deliberately excluded — after a restart the new RM re-runs the
+        allocator from the restored tables.
+        """
+        if OBS.enabled:
+            OBS.counter("rm.snapshots").inc()
+        return {
+            "version": 1,
+            "time_s": self.world.time_s,
+            "allocation_epochs": self.allocation_epochs,
+            "stable_at_s": dict(self.stable_at_s),
+            "tables": {
+                name: table.to_wire()
+                for name, table in sorted(self.table_store.items())
+            },
+            "sessions": [
+                {
+                    "pid": session.pid,
+                    "app": session.table.app_name,
+                    "measurements_total": session.measurements_total,
+                    "explored": [
+                        erv.to_wire()
+                        for erv in sorted(
+                            session.explored, key=lambda e: tuple(e.counts)
+                        )
+                    ],
+                }
+                for _, session in sorted(self.sessions.items())
+            ],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a snapshot into this (fresh) manager instance.
+
+        Call :meth:`adopt_running` afterwards to re-attach the managed
+        processes that survived the RM outage.
+        """
+        if snapshot.get("version") != 1:
+            raise ValueError(f"unknown snapshot version {snapshot.get('version')!r}")
+        self.allocation_epochs = int(snapshot.get("allocation_epochs", 0))
+        self.stable_at_s = dict(snapshot.get("stable_at_s", {}))
+        self.table_store = {
+            name: OperatingPointTable.from_wire(self.layout, data)
+            for name, data in snapshot.get("tables", {}).items()
+        }
+        self._session_backlog = {
+            int(entry["pid"]): entry for entry in snapshot.get("sessions", [])
+        }
+        if OBS.enabled:
+            OBS.counter("rm.restores").inc()
+            OBS.event(
+                "rm.restore", track="rm",
+                tables=len(self.table_store),
+                sessions=len(self._session_backlog),
+            )
+
+    def adopt_running(self) -> int:
+        """Re-register managed processes still running after an RM restart.
+
+        Returns the number of adopted sessions.  Each adoption replays the
+        registration handshake (the application side does the same through
+        libharp's reconnect-and-reregister path) and re-attaches the
+        exploration progress saved in the snapshot.
+        """
+        adopted = 0
+        for pid in sorted(self.world.processes):
+            process = self.world.processes[pid]
+            if (
+                not process.managed
+                or process.daemon
+                or process.finished
+                or pid in self.sessions
+            ):
+                continue
+            self._on_process_start(process)
+            session = self.sessions.get(pid)
+            if session is None:
+                continue
+            adopted += 1
+            backlog = self._session_backlog.pop(pid, None)
+            if backlog is not None:
+                session.measurements_total = int(
+                    backlog.get("measurements_total", 0)
+                )
+                session.explored = {
+                    ExtendedResourceVector.from_wire(self.layout, counts)
+                    for counts in backlog.get("explored", [])
+                }
+        if OBS.enabled:
+            OBS.counter("rm.sessions_adopted").inc(adopted)
+        return adopted
+
+    def shutdown(self) -> None:
+        """Detach from the world, modelling an RM crash or orderly stop.
+
+        Idempotent.  World callbacks are removed, all session transports
+        are closed, and the RM overhead daemon is killed; the managed
+        processes keep running with their last activation until a new
+        manager (typically built from a :meth:`snapshot`) adopts them.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for callbacks, cb in (
+            (self.world.on_process_start, self._on_process_start),
+            (self.world.on_process_exit, self._on_process_exit),
+            (self.world.on_tick, self._on_tick),
+        ):
+            with contextlib.suppress(ValueError):
+                callbacks.remove(cb)
+        for session in list(self.sessions.values()):
+            with contextlib.suppress(ProtocolError):
+                session.transport.close()
+        self.sessions.clear()
+        if self._rm_process is not None:
+            self.world.kill(self._rm_process.pid, silent=True)
+            self._rm_process = None
+        if OBS.enabled:
+            OBS.counter("rm.shutdowns").inc()
+            OBS.event("rm.shutdown", track="rm")
 
     # -- introspection -------------------------------------------------------------------
 

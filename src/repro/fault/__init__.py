@@ -1,0 +1,33 @@
+"""harpfault: deterministic, seed-driven fault injection.
+
+The robustness counterpart of the simulation harness (docs/robustness.md):
+a :class:`FaultPlan` is a reproducible schedule of faults — application
+crashes and hangs, push-channel loss, delayed replies, solver failures,
+and full RM restarts — that a :class:`SimFaultInjector` fires against a
+running world/manager pair at exact simulated times.  The same seed
+always produces the same plan, and injection itself introduces no
+wall-clock or unseeded randomness, so a faulted run is as bit-exact
+reproducible as a clean one.
+
+Socket-level wire faults (garbage frames, truncated frames, oversized
+headers) live in :mod:`repro.fault.wire` and are aimed at the real
+``HarpSocketServer`` rather than the in-process simulation transport.
+"""
+
+from repro.fault.injector import SimFaultInjector
+from repro.fault.plan import Fault, FaultKind, FaultPlan
+from repro.fault.wire import (
+    send_garbage_frame,
+    send_oversized_header,
+    send_truncated_frame,
+)
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "SimFaultInjector",
+    "send_garbage_frame",
+    "send_oversized_header",
+    "send_truncated_frame",
+]

@@ -1,0 +1,139 @@
+"""Fault plans: reproducible schedules of injected failures.
+
+A plan is data, not behaviour: a sorted list of (time, kind, target,
+params) records that the injector executes against a live world.  Plans
+can be written by hand for targeted tests or generated from a seed for
+chaos-style sweeps; either way they serialize to JSON so a failing run
+can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """Everything the injector knows how to break."""
+
+    #: The target process dies silently (no exit notification); the RM
+    #: must detect it through the liveness lease.
+    APP_CRASH = "app_crash"
+    #: The target application stops answering utility polls while still
+    #: consuming CPU; the RM detects the feedback starvation.
+    APP_HANG = "app_hang"
+    #: The target's request channel delivers undecodable junk for the
+    #: next ``count`` requests (in-process analogue of a garbage frame).
+    GARBAGE_FRAME = "garbage_frame"
+    #: The target's request channel drops mid-message for the next
+    #: ``count`` requests (in-process analogue of a truncated frame).
+    TRUNCATED_FRAME = "truncated_frame"
+    #: The target's push channel silently drops everything; the next
+    #: activation push fails and the RM escalates to teardown.
+    PUSH_LOSS = "push_loss"
+    #: The target's activation replies are delayed by ``delay_s``.
+    DELAYED_REPLY = "delayed_reply"
+    #: The next ``count`` MMKP solves raise; the RM degrades to the
+    #: fair-share allocation.
+    SOLVER_FAILURE = "solver_failure"
+    #: The RM crashes and restarts from its last snapshot, then adopts
+    #: the still-running applications.
+    RM_RESTART = "rm_restart"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    Attributes:
+        at_s: simulated time at which the fault fires.
+        kind: what breaks.
+        target: application name to aim at; ``None`` picks the managed
+            session with the lowest pid at fire time.
+        params: kind-specific knobs (``count``, ``delay_s``).
+    """
+
+    at_s: float
+    kind: FaultKind
+    target: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {
+            "at_s": self.at_s,
+            "kind": self.kind.value,
+            "target": self.target,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Fault":
+        return cls(
+            at_s=float(data["at_s"]),
+            kind=FaultKind(data["kind"]),
+            target=data.get("target"),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults, optionally seed-generated."""
+
+    faults: list[Fault] = field(default_factory=list)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.faults = sorted(self.faults, key=lambda f: (f.at_s, f.kind.value))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_s: float,
+        kinds: list[FaultKind] | None = None,
+        n_faults: int = 3,
+        targets: list[str] | None = None,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan from a seed.
+
+        Times are uniform over ``[0.1 * horizon, 0.9 * horizon]`` so
+        faults land while the workload is actually running; kinds and
+        targets are drawn uniformly from the given pools.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be > 0")
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        pool = list(kinds or [FaultKind.APP_CRASH, FaultKind.GARBAGE_FRAME])
+        rng = np.random.default_rng(seed)
+        faults = []
+        for _ in range(n_faults):
+            at_s = float(rng.uniform(0.1 * horizon_s, 0.9 * horizon_s))
+            kind = pool[int(rng.integers(len(pool)))]
+            target = None
+            if targets:
+                target = targets[int(rng.integers(len(targets)))]
+            faults.append(Fault(at_s=at_s, kind=kind, target=target))
+        return cls(faults=faults, seed=seed)
+
+    def to_wire(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_wire() for f in self.faults],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "FaultPlan":
+        return cls(
+            faults=[Fault.from_wire(f) for f in data.get("faults", [])],
+            seed=data.get("seed"),
+        )

@@ -1,0 +1,54 @@
+"""Socket-level wire faults for the real IPC transports.
+
+These helpers speak raw bytes at a connected ``AF_UNIX`` socket to
+exercise the framing hardening of :mod:`repro.ipc`:
+
+* a *garbage frame* is correctly length-prefixed but carries bytes that
+  do not decode to a message — the server must answer with a recoverable
+  ``ErrorReply`` and keep serving the connection;
+* a *truncated frame* advertises more bytes than it delivers — the
+  server must treat the stream as desynchronized and close it;
+* an *oversized header* claims a body beyond ``MAX_FRAME_BYTES`` — same
+  reaction, without ever allocating the claimed buffer.
+
+Payload bytes come from a caller-provided seeded generator so chaos runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+
+from repro.ipc.protocol import MAX_FRAME_BYTES
+
+_HEADER = struct.Struct(">I")
+
+
+def send_garbage_frame(
+    sock: socket.socket, rng: np.random.Generator, size: int = 64
+) -> bytes:
+    """Send a well-framed body of random bytes; returns the body sent."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    body = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+    sock.sendall(_HEADER.pack(len(body)) + body)
+    return body
+
+
+def send_truncated_frame(
+    sock: socket.socket, claimed: int = 1024, delivered: int = 16
+) -> None:
+    """Advertise ``claimed`` body bytes but deliver only ``delivered``,
+    then half-close the stream so the peer sees EOF mid-frame."""
+    if not 0 <= delivered < claimed:
+        raise ValueError("delivered must be in [0, claimed)")
+    sock.sendall(_HEADER.pack(claimed) + b"x" * delivered)
+    sock.shutdown(socket.SHUT_WR)
+
+
+def send_oversized_header(sock: socket.socket) -> None:
+    """Claim a frame larger than the protocol maximum."""
+    sock.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))

@@ -159,6 +159,23 @@ class Ack(Message):
     error: str | None = None
 
 
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """RM → peer: the request could not be understood or served.
+
+    Sent instead of dropping the connection when the RM receives a frame
+    it cannot decode (garbage JSON, unknown TYPE, malformed fields) or a
+    request its handler cannot process.  ``recoverable`` tells the peer
+    whether the stream is still in sync (a well-framed but undecodable
+    message) or about to be closed (framing integrity lost).
+    """
+
+    TYPE = "error"
+
+    error: str = ""
+    recoverable: bool = True
+
+
 _MESSAGE_TYPES: dict[str, type[Message]] = {
     cls.TYPE: cls
     for cls in (
@@ -172,6 +189,7 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
         ObservabilityQuery,
         ObservabilityReply,
         Ack,
+        ErrorReply,
     )
 }
 

@@ -22,6 +22,26 @@ class ProtocolError(RuntimeError):
     """Framing-level failure (truncated stream, oversized frame, bad JSON)."""
 
 
+class FrameIntegrityError(ProtocolError):
+    """The byte stream is out of sync (truncated or oversized frame).
+
+    After this the connection cannot be trusted to frame correctly again;
+    the only safe reaction is to close it.
+    """
+
+
+class MessageDecodeError(ProtocolError):
+    """A complete, well-framed body that does not decode to a message.
+
+    The stream is still in sync — the peer may reply with an
+    ``ErrorReply`` and keep serving the connection.
+    """
+
+
+class RequestTimeout(ProtocolError):
+    """A request did not complete within its timeout."""
+
+
 class FrameCodec:
     """Encodes messages to frames and decodes a byte stream back."""
 
@@ -37,11 +57,11 @@ class FrameCodec:
         try:
             data = json.loads(frame.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(f"undecodable frame: {exc}") from exc
+            raise MessageDecodeError(f"undecodable frame: {exc}") from exc
         try:
             return decode_message(data)
         except ProtocolViolation as exc:
-            raise ProtocolError(str(exc)) from exc
+            raise MessageDecodeError(str(exc)) from exc
 
 
 def send_message(sock: socket.socket, message: Message) -> None:
@@ -53,14 +73,23 @@ def send_message(sock: socket.socket, message: Message) -> None:
     sock.sendall(frame)
 
 
-def recv_message(sock: socket.socket) -> Message | None:
-    """Read one framed message; None on clean EOF at a frame boundary."""
+def recv_message(
+    sock: socket.socket, timeout: float | None = None
+) -> Message | None:
+    """Read one framed message; None on clean EOF at a frame boundary.
+
+    Args:
+        timeout: when given, applied to the socket for this read via
+            ``settimeout`` (``socket.timeout`` propagates to the caller).
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
     header = _recv_exact(sock, _HEADER.size, allow_eof=True)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame too large: {length} bytes")
+        raise FrameIntegrityError(f"frame too large: {length} bytes")
     body = _recv_exact(sock, length, allow_eof=False)
     assert body is not None
     message = FrameCodec.decode(body)
@@ -78,11 +107,19 @@ def _recv_exact(
     chunks = []
     remaining = count
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            if allow_eof and remaining == count:
+                # Idle at a frame boundary: let the caller poll again.
+                raise
+            raise FrameIntegrityError(
+                "timed out mid-frame; stream out of sync"
+            ) from None
         if not chunk:
             if allow_eof and remaining == count:
                 return None
-            raise ProtocolError("connection closed mid-frame")
+            raise FrameIntegrityError("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -5,6 +5,17 @@ dedicated thread that decodes frames and dispatches them to a handler
 callback, which returns the reply message.  Push messages (allocation
 activations, utility polls) are delivered over the application's dedicated
 push socket, exactly as described in §4.1.1.
+
+Hardening contract (docs/robustness.md): a misbehaving peer must never
+take the RM down.  A well-framed but undecodable message (garbage JSON,
+unknown TYPE, malformed fields) gets an ``ErrorReply`` and the connection
+keeps serving; a framing-integrity failure (truncated stream, oversized
+frame) gets a best-effort ``ErrorReply(recoverable=False)`` and the
+connection is closed, because the byte stream can no longer be trusted.
+Handler exceptions become error acks.  ``stop()`` is idempotent and
+closes live connections so worker threads exit promptly; threads that
+still fail to join within the timeout are counted in the
+``ipc.thread_join_timeouts`` obs counter rather than silently leaked.
 """
 
 from __future__ import annotations
@@ -15,24 +26,43 @@ import socket
 import threading
 from typing import Callable
 
-from repro.ipc.messages import Ack, Message
-from repro.ipc.protocol import ProtocolError, recv_message, send_message
+from repro.ipc.messages import Ack, ErrorReply, Message
+from repro.ipc.protocol import (
+    FrameIntegrityError,
+    MessageDecodeError,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 from repro.obs import OBS
 
 Handler = Callable[[Message], Message | None]
+
+#: Idle-poll granularity for blocking reads: bounds how long a worker
+#: thread can outlive ``stop()`` while parked in ``recv``.
+_POLL_TIMEOUT_S = 0.2
 
 
 class HarpSocketServer:
     """The RM's request socket plus per-application push connections."""
 
-    def __init__(self, socket_path: str, handler: Handler):
+    def __init__(
+        self,
+        socket_path: str,
+        handler: Handler,
+        join_timeout_s: float = 2.0,
+    ):
         self.socket_path = socket_path
         self.handler = handler
+        self.join_timeout_s = join_timeout_s
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
         self._push_sockets: dict[int, socket.socket] = {}
         self._push_lock = threading.Lock()
+        self._conn_lock = threading.Lock()
         self._stopping = threading.Event()
+        self._stopped = False
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -46,6 +76,8 @@ class HarpSocketServer:
         listener.bind(self.socket_path)
         listener.listen(32)
         self._listener = listener
+        self._stopping.clear()
+        self._stopped = False
         accept_thread = threading.Thread(
             target=self._accept_loop, name="harp-rm-accept", daemon=True
         )
@@ -53,13 +85,23 @@ class HarpSocketServer:
         self._threads.append(accept_thread)
 
     def stop(self) -> None:
-        """Shut down the listener and all connections."""
+        """Shut down the listener and all connections; safe to call twice."""
+        if self._stopped:
+            return
+        self._stopped = True
         self._stopping.set()
         if self._listener is not None:
             with contextlib.suppress(OSError):
                 self._listener.shutdown(socket.SHUT_RDWR)
             self._listener.close()
             self._listener = None
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
         with self._push_lock:
             for sock in self._push_sockets.values():
                 with contextlib.suppress(OSError):
@@ -68,7 +110,11 @@ class HarpSocketServer:
         with contextlib.suppress(FileNotFoundError):
             os.unlink(self.socket_path)
         for thread in self._threads:
-            thread.join(timeout=2.0)
+            thread.join(timeout=self.join_timeout_s)
+            if thread.is_alive() and OBS.enabled:
+                OBS.counter(
+                    "ipc.thread_join_timeouts", role="server"
+                ).inc()
         self._threads.clear()
 
     def __enter__(self) -> "HarpSocketServer":
@@ -128,6 +174,9 @@ class HarpSocketServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return
+            # Reap finished workers so the thread list stays bounded on
+            # long-lived servers with much connection churn.
+            self._threads = [t for t in self._threads if t.is_alive()]
             worker = threading.Thread(
                 target=self._serve_connection,
                 args=(conn,),
@@ -138,27 +187,58 @@ class HarpSocketServer:
             self._threads.append(worker)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            while not self._stopping.is_set():
+        with self._conn_lock:
+            self._conns.add(conn)
+        try:
+            with conn:
+                conn.settimeout(_POLL_TIMEOUT_S)
+                self._serve_frames(conn)
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+
+    def _serve_frames(self, conn: socket.socket) -> None:
+        while not self._stopping.is_set():
+            try:
+                message = recv_message(conn)
+            except socket.timeout:
+                continue  # idle poll: re-check the stop flag
+            except MessageDecodeError as exc:
+                # Well-framed junk: the stream is still in sync, so tell
+                # the peer what happened and keep serving.
+                if OBS.enabled:
+                    OBS.counter("ipc.error_replies", reason="decode").inc()
                 try:
-                    message = recv_message(conn)
-                except (ProtocolError, OSError):
+                    send_message(
+                        conn, ErrorReply(error=str(exc), recoverable=True)
+                    )
+                except OSError:
                     return
-                if message is None:
-                    return
-                obs_on = OBS.enabled
-                t0 = OBS.walltime() if obs_on else 0.0
+                continue
+            except (FrameIntegrityError, ProtocolError, OSError) as exc:
+                # Framing integrity lost: best-effort error, then close.
+                if OBS.enabled:
+                    OBS.counter("ipc.error_replies", reason="framing").inc()
+                with contextlib.suppress(OSError, ProtocolError):
+                    send_message(
+                        conn, ErrorReply(error=str(exc), recoverable=False)
+                    )
+                return
+            if message is None:
+                return
+            obs_on = OBS.enabled
+            t0 = OBS.walltime() if obs_on else 0.0
+            try:
+                reply = self.handler(message)
+            except Exception as exc:  # handler bug must not kill the RM
+                reply = Ack(ok=False, error=f"handler error: {exc}")
+            if obs_on:
+                OBS.counter("ipc.handled", type=message.TYPE).inc()
+                OBS.histogram(
+                    "ipc.handler_seconds", type=message.TYPE
+                ).observe(OBS.walltime() - t0)
+            if reply is not None:
                 try:
-                    reply = self.handler(message)
-                except Exception as exc:  # handler bug must not kill the RM
-                    reply = Ack(ok=False, error=f"handler error: {exc}")
-                if obs_on:
-                    OBS.counter("ipc.handled", type=message.TYPE).inc()
-                    OBS.histogram(
-                        "ipc.handler_seconds", type=message.TYPE
-                    ).observe(OBS.walltime() - t0)
-                if reply is not None:
-                    try:
-                        send_message(conn, reply)
-                    except OSError:
-                        return
+                    send_message(conn, reply)
+                except OSError:
+                    return

@@ -6,15 +6,28 @@
 3. Handle activation pushes by applying the allocation through the
    application adapter.
 4. Answer utility polls with the application-specific metric.
+
+Requests are hardened per docs/robustness.md: every request carries an
+explicit timeout and runs under a bounded retry loop with exponential
+backoff.  After a transport failure the client reconnects and — when it
+had already completed the handshake — transparently re-registers with the
+RM (sessions are keyed by PID, so a restarted RM simply sees the
+application again).  ``sleeper`` is injectable and defaults to no sleep,
+keeping the deterministic in-process simulation free of wall-clock
+dependencies; real socket deployments pass ``time.sleep``.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.ipc.client import Transport
 from repro.ipc.messages import (
     Ack,
     ActivateOperatingPoint,
     DeregisterRequest,
+    ErrorReply,
     Message,
     OperatingPointsMessage,
     RegisterReply,
@@ -22,11 +35,33 @@ from repro.ipc.messages import (
     UtilityReply,
     UtilityRequest,
 )
+from repro.ipc.protocol import ProtocolError
 from repro.libharp.adaptivity import ApplicationAdapter
+from repro.obs import OBS
 
 
 class RegistrationError(RuntimeError):
     """The RM rejected or failed the registration handshake."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry configuration for libharp requests."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delays(self) -> list[float]:
+        """Backoff delay before each retry (``max_attempts - 1`` entries)."""
+        return [
+            self.backoff_base_s * self.backoff_factor**i
+            for i in range(self.max_attempts - 1)
+        ]
 
 
 class LibHarpClient:
@@ -38,36 +73,109 @@ class LibHarpClient:
         transport: Transport,
         description_points: list[dict] | None = None,
         granularity: str = "coarse",
+        retry: RetryPolicy | None = None,
+        request_timeout_s: float = 5.0,
+        sleeper: Callable[[float], None] | None = None,
     ):
         self.adapter = adapter
         self.transport = transport
         self.description_points = list(description_points or [])
         self.granularity = granularity
+        self.retry = retry or RetryPolicy()
+        self.request_timeout_s = request_timeout_s
+        self._sleep = sleeper or (lambda _s: None)
         self.session_id: int | None = None
         self.activations = 0
         self.last_activation: ActivateOperatingPoint | None = None
+        self.retries = 0
+        self.reregistrations = 0
+        self._push_socket: str | None = None
         transport.set_push_handler(self._on_push)
+
+    # -- hardened request path ------------------------------------------------------
+
+    def _request_once(self, message: Message) -> Message:
+        reply = self.transport.request(
+            message, timeout=self.request_timeout_s
+        )
+        if isinstance(reply, ErrorReply):
+            raise ProtocolError(f"RM error reply: {reply.error}")
+        return reply
+
+    def _request_with_retry(self, message: Message) -> Message:
+        """Send under the retry policy; reconnect + re-register between tries."""
+        delays = self.retry.delays()
+        last_exc: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return self._request_once(message)
+            except (ProtocolError, OSError) as exc:
+                last_exc = exc
+                if OBS.enabled:
+                    OBS.counter(
+                        "libharp.request_failures", type=message.TYPE
+                    ).inc()
+                if attempt >= self.retry.max_attempts - 1:
+                    break
+                self.retries += 1
+                if OBS.enabled:
+                    OBS.counter("libharp.retries", type=message.TYPE).inc()
+                self._sleep(delays[attempt])
+                try:
+                    self.transport.reconnect()
+                except (ProtocolError, OSError):
+                    continue  # next attempt reports the persistent failure
+                if self.session_id is not None and not isinstance(
+                    message, RegisterRequest
+                ):
+                    # The RM may have restarted and lost the session: make
+                    # sure it knows us again before retrying the request.
+                    try:
+                        self._reregister()
+                    except (ProtocolError, OSError, RegistrationError):
+                        continue
+        assert last_exc is not None
+        raise last_exc
+
+    def _reregister(self) -> None:
+        """Redo the registration handshake after a reconnect."""
+        reply = self._request_once(self._registration_message())
+        if not isinstance(reply, RegisterReply) or not reply.ok:
+            error = getattr(reply, "error", None) or "re-registration rejected"
+            raise RegistrationError(error)
+        self.session_id = reply.session_id
+        if self.description_points:
+            self._request_once(
+                OperatingPointsMessage(
+                    pid=self.adapter.pid, points=self.description_points
+                )
+            )
+        self.reregistrations += 1
+        if OBS.enabled:
+            OBS.counter("libharp.reregistrations").inc()
+
+    def _registration_message(self) -> RegisterRequest:
+        return RegisterRequest(
+            pid=self.adapter.pid,
+            app_name=self.adapter.app_name,
+            granularity=self.granularity,
+            adaptivity=self.adapter.adaptivity.value,
+            provides_utility=self.adapter.provides_utility,
+            push_socket=self._push_socket,
+        )
 
     # -- registration (steps 1-2) --------------------------------------------------
 
     def register(self, push_socket: str | None = None) -> int:
         """Perform the registration handshake; returns the session id."""
-        reply = self.transport.request(
-            RegisterRequest(
-                pid=self.adapter.pid,
-                app_name=self.adapter.app_name,
-                granularity=self.granularity,
-                adaptivity=self.adapter.adaptivity.value,
-                provides_utility=self.adapter.provides_utility,
-                push_socket=push_socket,
-            )
-        )
+        self._push_socket = push_socket
+        reply = self._request_with_retry(self._registration_message())
         if not isinstance(reply, RegisterReply) or not reply.ok:
             error = getattr(reply, "error", None) or "registration rejected"
             raise RegistrationError(error)
         self.session_id = reply.session_id
         if self.description_points:
-            ack = self.transport.request(
+            ack = self._request_with_retry(
                 OperatingPointsMessage(
                     pid=self.adapter.pid, points=self.description_points
                 )
@@ -78,7 +186,7 @@ class LibHarpClient:
 
     def deregister(self) -> None:
         """Graceful shutdown notification."""
-        self.transport.request(DeregisterRequest(pid=self.adapter.pid))
+        self._request_with_retry(DeregisterRequest(pid=self.adapter.pid))
 
     # -- push handling (steps 3-4) ----------------------------------------------------
 

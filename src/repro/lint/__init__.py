@@ -1,6 +1,6 @@
 """harplint — AST-based static analysis for the HARP reproduction.
 
-Five repo-specific rules encode the invariants the runtime relies on
+Six repo-specific rules encode the invariants the runtime relies on
 (see ``docs/static_analysis.md``):
 
 =======  ================  =====================================================
@@ -11,6 +11,7 @@ HL002    mutation-safety   value types mutate only in their defining module
 HL003    float-equality    no exact ``==``/``!=`` against float literals
 HL004    parity-coverage   every reference/vectorized switch has a test
 HL005    ipc-conformance   every Message class is codec-registered
+HL006    bounded-blocking  socket reads and transport requests carry timeouts
 =======  ================  =====================================================
 
 Run ``python -m repro.lint src tests`` or the ``harplint`` console script.

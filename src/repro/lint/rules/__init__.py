@@ -6,4 +6,5 @@ from repro.lint.rules import (  # noqa: F401
     ipc,
     mutation,
     parity,
+    timeouts,
 )

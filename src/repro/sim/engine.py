@@ -192,6 +192,33 @@ class World:
             callback(process)
         return process
 
+    def kill(self, pid: int, silent: bool = False) -> None:
+        """Terminate a process immediately.
+
+        ``silent=True`` models a crash: the process just stops consuming
+        CPU and no exit notification reaches any listener — the RM has to
+        discover the death through its liveness lease.  ``silent=False``
+        is an orderly kill: exit callbacks fire exactly as they would on
+        normal completion.
+        """
+        process = self.processes.get(pid)
+        if process is None or process.finished:
+            return
+        process.finished = True
+        process.crashed = silent
+        process.finish_time_s = self.time_s
+        if OBS.enabled:
+            OBS.event(
+                "process.crash" if silent else "process.kill",
+                track=f"app:{process.model.name}",
+                pid=pid, name=process.model.name,
+            )
+        if not silent:
+            for callback in process.on_finish:
+                callback(process)
+            for callback in self.on_process_exit:
+                callback(process)
+
     def running_processes(self) -> list[SimProcess]:
         return [p for p in self.processes.values() if not p.finished]
 

@@ -59,6 +59,10 @@ class SimProcess:
     knobs: dict = field(default_factory=dict)
     work_done: float = 0.0
     finished: bool = False
+    # True when the process was terminated by World.kill(silent=True): it
+    # died without notifying anyone, and the RM must discover the death
+    # through its liveness lease.
+    crashed: bool = False
     start_time_s: float = 0.0
     finish_time_s: float | None = None
     cpu_time_by_type: dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,18 @@
+"""Fixture: bounded blocking shapes HL006 must accept."""
+
+import socket
+
+
+def request_with_keyword(transport, message):
+    return transport.request(message, timeout=5.0)
+
+
+def request_with_positional(transport, message):
+    return transport.request(message, 5.0)
+
+
+def recv_under_poll_timeout(path):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    sock.settimeout(0.2)
+    return sock.recv(4096)

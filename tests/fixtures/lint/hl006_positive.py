@@ -1,0 +1,15 @@
+"""Fixture: unbounded blocking calls HL006 must flag."""
+
+import socket
+
+
+def naked_request(transport, message):
+    # No timeout keyword and no positional timeout: blocks forever.
+    return transport.request(message)
+
+
+def naked_recv(path):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    # No settimeout anywhere in this file: blocks forever.
+    return sock.recv(4096)

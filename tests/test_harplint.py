@@ -1,4 +1,4 @@
-"""Tests for the harplint static-analysis suite (rules HL001–HL005).
+"""Tests for the harplint static-analysis suite (rules HL001–HL006).
 
 Each rule is exercised against fixture files under ``tests/fixtures/lint``
 in three configurations: positives fire, negatives stay silent, and
@@ -53,9 +53,11 @@ def lint_fixture(
 
 
 class TestFramework:
-    def test_registry_has_the_five_rules(self):
+    def test_registry_has_the_six_rules(self):
         codes = [r.code for r in all_rules()]
-        assert codes == ["HL001", "HL002", "HL003", "HL004", "HL005"]
+        assert codes == [
+            "HL001", "HL002", "HL003", "HL004", "HL005", "HL006",
+        ]
 
     def test_unknown_rule_code_rejected(self):
         with pytest.raises(KeyError):
@@ -267,6 +269,50 @@ class TestIpcConformance:
             for p in sorted((REPO / "src" / "repro" / "ipc").glob("*.py"))
         ]
         assert run(Project(files), rules=select_rules(["HL005"])) == []
+
+
+# -- HL006 bounded-blocking -----------------------------------------------------
+
+
+class TestBoundedBlocking:
+    def test_positives(self):
+        diags = lint_fixture(["hl006_positive.py"], "HL006")
+        assert len(diags) == 2
+        messages = " ".join(d.message for d in diags)
+        assert "timeout=" in messages
+        assert "settimeout" in messages
+
+    def test_negatives(self):
+        assert lint_fixture(["hl006_negative.py"], "HL006") == []
+
+    def test_suppressed(self):
+        assert lint_fixture(["hl006_suppressed.py"], "HL006") == []
+        assert (
+            lint_fixture(
+                ["hl006_suppressed.py"], "HL006", apply_suppressions=False
+            )
+            != []
+        )
+
+    def test_test_modules_are_exempt(self):
+        diags = lint_fixture(
+            ["hl006_positive.py"],
+            "HL006",
+            roles={"hl006_positive.py": ROLE_TEST},
+        )
+        assert diags == []
+
+    def test_real_ipc_layer_is_bounded(self):
+        """The hardened transports must satisfy their own lint rule."""
+        files = [
+            SourceFile.load(p)
+            for p in sorted((REPO / "src" / "repro" / "ipc").glob("*.py"))
+        ] + [
+            SourceFile.load(
+                REPO / "src" / "repro" / "libharp" / "client.py"
+            )
+        ]
+        assert run(Project(files), rules=select_rules(["HL006"])) == []
 
 
 # -- end-to-end CLI -------------------------------------------------------------
