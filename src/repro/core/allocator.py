@@ -32,6 +32,31 @@ construction.  Independently of the mode, dominated operating points
 before the solve, and whole solves are memoized on a fingerprint of the
 inputs so manager epochs with unchanged tables skip the solver entirely.
 
+Consecutive manager epochs are nearly identical problems, and the control
+plane exploits that incrementally (docs/performance.md, "Scaling the
+control plane"):
+
+* **Warm-started solves** — the Lagrange multiplier vector λ of the last
+  full solve is persisted and reused as the starting iterate of the next
+  one; warm solves run a shorter subgradient schedule
+  (``warm_iterations``) and stop early once the iterate is feasible and
+  stable.  The primal-recovery step is unchanged (repair of the last
+  iterate *and* of the unconstrained greedy choice, then keep the
+  cheapest feasible candidate), so a warm solve's cost is never worse
+  than the repaired greedy solution — the documented Lagrangian bound.
+* **Delta solves** — when only a few applications' operating-point sets
+  changed since the previous epoch (a registration, a points update),
+  only those applications' candidate rows are re-scored against the
+  cached multipliers; every unchanged application keeps its previous
+  selection *and placement*.  The shortcut is taken only when the
+  resulting demand stays within capacity — any violation falls back to a
+  full (warm-started) solve, so delta epochs are always feasible.
+* **Row and placement caches** — per-application cost/resource arrays
+  (including Pareto pruning) are memoized by request value, and
+  :meth:`LagrangianAllocator.place_selections` memoizes the deterministic
+  phase-3 placement so repeated fair-share fallbacks skip the per-core
+  rebuild.
+
 A plain greedy solver (:class:`GreedyAllocator`) is included as an
 ablation baseline.
 """
@@ -113,6 +138,13 @@ class AllocatorStats:
     repair_calls: int = 0
     repair_steps: int = 0
     repair_give_ups: int = 0
+    # Incremental-solving counters (docs/performance.md).
+    warm_starts: int = 0
+    delta_solves: int = 0
+    delta_fallbacks: int = 0
+    subgradient_iters: int = 0
+    row_cache_hits: int = 0
+    placement_cache_hits: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -163,7 +195,21 @@ class LagrangianAllocator:
             ``"reference"`` (the original scalar loops).
         prune: drop Pareto-dominated operating points before solving.
         cache_size: number of memoized solves to retain (0 disables).
+        warm_start: reuse the previous epoch's Lagrange multipliers as
+            the starting iterate of the next solve.
+        warm_iterations: subgradient budget for warm-started solves
+            (cold solves keep the full ``iterations`` schedule).
+        delta: when only a few applications changed since the previous
+            epoch, re-score just their candidate rows against the cached
+            multipliers instead of re-solving (falls back to a full solve
+            on any capacity violation).
+        delta_max_frac: largest fraction of applications that may have
+            changed for the delta path to be attempted.
     """
+
+    #: Consecutive feasible, unchanged iterates after which a warm-started
+    #: subgradient loop stops early.
+    _WARM_STABLE_ITERS = 3
 
     def __init__(
         self,
@@ -174,6 +220,10 @@ class LagrangianAllocator:
         mode: str = "vectorized",
         prune: bool = True,
         cache_size: int = 128,
+        warm_start: bool = True,
+        warm_iterations: int = 20,
+        delta: bool = True,
+        delta_max_frac: float = 0.25,
     ):
         if mode not in ("vectorized", "reference"):
             raise ValueError(f"unknown allocator mode {mode!r}")
@@ -184,8 +234,59 @@ class LagrangianAllocator:
         self.mode = mode
         self.prune = prune
         self.cache_size = cache_size
+        self.warm_start = warm_start
+        self.warm_iterations = warm_iterations
+        self.delta = delta
+        self.delta_max_frac = delta_max_frac
         self.stats = AllocatorStats()
         self._cache: OrderedDict[tuple, tuple] = OrderedDict()
+        # Per-request candidate rows (cost vector, resource matrix, kept
+        # indices), memoized by request value so unchanged applications
+        # skip problem construction (pruning included) entirely.
+        self._row_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._row_cache_size = 4096
+        # Deterministic phase-3 placements memoized by selection signature
+        # (the fair-share fallback calls place_selections() with the same
+        # signature on every solver failure).
+        self._placement_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._placement_cache_size = 128
+        # Warm/delta state from the previous full or delta solve.
+        self._warm_lambda: np.ndarray | None = None
+        self._last_apps: dict[int, dict] | None = None
+        self._last_env: tuple | None = None
+        self._last_demand: np.ndarray | None = None
+        # Previous epoch's repaired-greedy candidate: pid -> (key, local
+        # row index), used to seed primal recovery on warm solves.
+        self._last_greedy: dict[int, tuple] | None = None
+        self._greedy_env: tuple | None = None
+        # Static platform maps, paid once instead of per placement.
+        self._core_of_hw = {
+            t.thread_id: t.core_id for t in platform.hw_threads
+        }
+        self._core_thread_ids = {
+            c.core_id: [t.thread_id for t in c.hw_threads]
+            for c in platform.cores
+        }
+
+    def reset_warm_state(self) -> None:
+        """Forget multipliers and per-app state (the next solve is cold)."""
+        self._warm_lambda = None
+        self._last_apps = None
+        self._last_env = None
+        self._last_demand = None
+        self._last_greedy = None
+        self._greedy_env = None
+
+    def clear_caches(self) -> None:
+        """Drop memoized solves, candidate rows, and placements.
+
+        Together with :meth:`reset_warm_state` this restores a
+        freshly-constructed allocator: the next solve pays full problem
+        construction and placement, with nothing reused across epochs.
+        """
+        self._cache.clear()
+        self._row_cache.clear()
+        self._placement_cache.clear()
 
     # -- public API ----------------------------------------------------------------
 
@@ -217,7 +318,9 @@ class LagrangianAllocator:
         if not requests:
             return result
 
-        key = self._fingerprint(requests, capacity, reserved)
+        req_keys = [self._request_key(req) for req in requests]
+        env = (tuple(capacity), tuple(sorted((reserved or {}).items())))
+        key = (tuple(req_keys), env)
         cached = self._cache_get(key)
         if cached is not None:
             self.stats.cache_hits += 1
@@ -230,25 +333,19 @@ class LagrangianAllocator:
         with OBS.span(
             "allocator.solve", track="rm", apps=len(requests), mode=self.mode
         ):
-            problem = self._build_problem(requests, len(capacity))
-            local = self._select(
-                requests, problem, np.asarray(capacity, dtype=float)
+            result = self._try_delta_solve(
+                requests, req_keys, capacity, env, reserved or {}
             )
-            choices = [
-                int(problem.orig_index[i][c]) for i, c in enumerate(local)
-            ]
-            selections = {
-                req.pid: Selection(pid=req.pid, point=req.points[idx])
-                for req, idx in zip(requests, choices)
-            }
-            self._mark_and_place(selections, capacity, reserved or {})
-        result.selections = selections
-        result.feasible = not any(s.co_allocated for s in selections.values())
-        self._cache_put(key, self._cache_entry(requests, choices, result))
+            if result is None:
+                result = self._full_solve(
+                    requests, req_keys, capacity, env, reserved or {}
+                )
+        selections = result.selections
+        if self.cache_size:
+            self._cache_put(key, self._cache_entry_from_result(requests, result))
         if OBS.enabled:
             OBS.counter("allocator.cache", result="miss").inc()
             OBS.counter("allocator.solves").inc()
-            OBS.counter("allocator.subgradient_iterations").inc(self.iterations)
             if not result.feasible:
                 OBS.event(
                     "allocator.co_allocation", track="rm",
@@ -258,35 +355,304 @@ class LagrangianAllocator:
                 )
         return result
 
+    def _full_solve(
+        self,
+        requests: list[AllocationRequest],
+        req_keys: list[tuple],
+        capacity: list[int],
+        env: tuple,
+        reserved: dict[str, int],
+    ) -> AllocationResult:
+        problem = self._build_problem(requests, req_keys, len(capacity))
+        lam0 = None
+        greedy_seed = None
+        if (
+            self.warm_start
+            and self._warm_lambda is not None
+            and len(self._warm_lambda) == len(capacity)
+        ):
+            lam0 = self._warm_lambda
+            self.stats.warm_starts += 1
+            if OBS.enabled:
+                OBS.counter("alloc.warm_start_hits").inc()
+            greedy_seed = self._greedy_seed_for(requests, req_keys, problem, env)
+        local, lam_final, iters, greedy = self._select(
+            requests, problem, np.asarray(capacity, dtype=float), lam0,
+            greedy_seed,
+        )
+        self.stats.subgradient_iters += iters
+        if OBS.enabled:
+            OBS.counter("allocator.subgradient_iterations").inc(iters)
+        choices = [int(problem.orig_index[i][c]) for i, c in enumerate(local)]
+        selections = {
+            req.pid: Selection(pid=req.pid, point=req.points[idx])
+            for req, idx in zip(requests, choices)
+        }
+        self._mark_and_place(selections, capacity, reserved)
+        result = AllocationResult(
+            selections=selections,
+            feasible=not any(s.co_allocated for s in selections.values()),
+        )
+        if lam_final is not None:
+            self._warm_lambda = np.array(lam_final, dtype=float)
+        if greedy is not None:
+            self._last_greedy = {
+                req.pid: (rk, int(g))
+                for req, rk, g in zip(requests, req_keys, greedy)
+            }
+            self._greedy_env = env
+        self._remember_solution(requests, req_keys, problem, local, result, env)
+        return result
+
+    def _greedy_seed_for(
+        self,
+        requests: list[AllocationRequest],
+        req_keys: list[tuple],
+        problem: _Problem,
+        env: tuple,
+    ) -> list[int] | None:
+        """Per-app starting points for primal recovery's greedy repair.
+
+        An unchanged application (same request value, same capacity and
+        reservation) reuses its repaired-greedy choice from the previous
+        epoch — already feasible in combination with the other unchanged
+        apps.  Changed or new applications fall back to their true greedy
+        (cheapest-cost) pick.  Local row indices stay valid across epochs
+        for unchanged requests because candidate rows are memoized by
+        request value.
+
+        The seed is dropped entirely when an application left since the
+        previous epoch: repair only ever downgrades, so seeded entries
+        could never claim the freed capacity back and the candidate would
+        drift away from the from-scratch greedy bound.
+        """
+        cached = self._last_greedy
+        if cached is None or self._greedy_env != env:
+            return None
+        pids = {req.pid for req in requests}
+        if any(pid not in pids for pid in cached):
+            return None
+        seed: list[int] = []
+        hits = 0
+        for i, (req, rk) in enumerate(zip(requests, req_keys)):
+            prev = cached.get(req.pid)
+            if prev is not None and prev[0] == rk:
+                seed.append(prev[1])
+                hits += 1
+            elif req.mandatory:
+                seed.append(0)
+            else:
+                seed.append(int(np.argmin(problem.costs[i])))
+        return seed if hits else None
+
+    def _remember_solution(
+        self,
+        requests: list[AllocationRequest],
+        req_keys: list[tuple],
+        problem: _Problem,
+        local: list[int],
+        result: AllocationResult,
+        env: tuple,
+    ) -> None:
+        """Persist per-application state for the next delta/warm epoch."""
+        self._last_env = env
+        self._last_demand = sum(
+            problem.resources[i][c] for i, c in enumerate(local)
+        ) + np.zeros(problem.R.shape[2])
+        self._last_apps = {
+            req.pid: {
+                "key": rk,
+                "costs": problem.costs[i],
+                "resources": problem.resources[i],
+                "orig_index": problem.orig_index[i],
+                "choice": int(local[i]),
+                "hw": result.selections[req.pid].hw_threads,
+                "co": result.selections[req.pid].co_allocated,
+            }
+            for i, (req, rk) in enumerate(zip(requests, req_keys))
+        }
+
+    # -- the delta path (docs/performance.md, "Scaling the control plane") -------------
+
+    def _try_delta_solve(
+        self,
+        requests: list[AllocationRequest],
+        req_keys: list[tuple],
+        capacity: list[int],
+        env: tuple,
+        reserved: dict[str, int],
+    ) -> AllocationResult | None:
+        """Re-score only the changed applications against the cached λ.
+
+        Eligible when the previous epoch was feasible, capacity and
+        reservations are unchanged, no application left (freed capacity
+        should be redistributed by a full solve), and at most
+        ``delta_max_frac`` of the applications changed or joined.  The
+        shortcut is accepted only when the combined demand stays within
+        capacity and the changed applications place disjointly into the
+        cores the unchanged ones do not occupy; otherwise ``None`` is
+        returned and the caller runs a full (warm-started) solve.
+        """
+        if not (self.delta and self.warm_start):
+            return None
+        last = self._last_apps
+        if last is None or self._warm_lambda is None:
+            return None
+        if self._last_env != env or len(self._warm_lambda) != len(capacity):
+            return None
+        if any(entry["co"] for entry in last.values()):
+            return None
+        pids = {req.pid for req in requests}
+        if len(pids) != len(requests) or set(last) - pids:
+            return None
+        changed = [
+            i
+            for i, (req, rk) in enumerate(zip(requests, req_keys))
+            if req.pid not in last or last[req.pid]["key"] != rk
+        ]
+        if not changed:
+            return None  # identical problem: the memo cache handles it
+        if len(changed) > max(1, int(self.delta_max_frac * len(requests))):
+            return None
+
+        last_demand = self._last_demand
+        if last_demand is None or len(last_demand) != len(capacity):
+            return None
+        lam = self._warm_lambda
+        capacity_arr = np.asarray(capacity, dtype=float)
+        # Demand is maintained incrementally: subtract each changed
+        # application's old row, add its re-scored one.  O(k), not O(n).
+        demand = last_demand.copy()
+        changed_entries: dict[int, dict] = {}
+        for i in changed:
+            req, rk = requests[i], req_keys[i]
+            cost_vec, res_mat, orig_index = self._request_rows(req, rk)
+            if req.mandatory:
+                local = 0
+            else:
+                local = int(np.argmin(cost_vec + res_mat @ lam))
+            old = last.get(req.pid)
+            if old is not None:
+                demand -= old["resources"][old["choice"]]
+            demand += res_mat[local]
+            changed_entries[req.pid] = {
+                "key": rk,
+                "costs": cost_vec,
+                "resources": res_mat,
+                "orig_index": orig_index,
+                "choice": local,
+                "hw": frozenset(),
+                "co": False,
+            }
+        if np.any(demand - capacity_arr > 1e-9):
+            self.stats.delta_fallbacks += 1
+            if OBS.enabled:
+                OBS.counter("alloc.delta_fallbacks", reason="capacity").inc()
+            return None
+        # Unchanged applications share their cached entry verbatim (the
+        # dict is never mutated once its epoch is over, so aliasing the
+        # previous map is safe and skips n dict copies per epoch).
+        entries: dict[int, dict] = {
+            req.pid: changed_entries.get(req.pid) or last[req.pid]
+            for req in requests
+        }
+
+        changed_pids = {requests[i].pid for i in changed}
+        selections: dict[int, Selection] = {}
+        keep_hw: dict[int, frozenset[int]] = {}
+        for req in requests:
+            entry = entries[req.pid]
+            idx = int(entry["orig_index"][entry["choice"]])
+            selections[req.pid] = Selection(pid=req.pid, point=req.points[idx])
+            if req.pid not in changed_pids:
+                keep_hw[req.pid] = entry["hw"]
+        if not self._place_delta(selections, keep_hw, reserved):
+            self.stats.delta_fallbacks += 1
+            if OBS.enabled:
+                OBS.counter("alloc.delta_fallbacks", reason="placement").inc()
+            return None
+        for pid in changed_pids:
+            sel = selections[pid]
+            entries[pid]["hw"] = sel.hw_threads
+            entries[pid]["co"] = sel.co_allocated
+        self.stats.delta_solves += 1
+        if OBS.enabled:
+            OBS.counter("alloc.delta_solves").inc()
+        self._last_env = env
+        self._last_apps = entries
+        self._last_demand = demand
+        return AllocationResult(selections=selections, feasible=True)
+
+    def _place_delta(
+        self,
+        selections: dict[int, Selection],
+        keep_hw: dict[int, frozenset[int]],
+        reserved: dict[str, int],
+    ) -> bool:
+        """Incremental phase 3: unchanged apps keep their cores verbatim.
+
+        Only the changed applications are placed, into the cores nobody
+        kept.  Returns False when a changed application does not fit
+        disjointly (the caller falls back to a full solve, which may
+        co-allocate); on success every selection has disjoint hardware
+        threads and no co-allocation.
+        """
+        core_of_hw = self._core_of_hw
+        used_cores = {
+            core_of_hw[hw_id] for hw in keep_hw.values() for hw_id in hw
+        }
+        free_cores: dict[str, list] = {}
+        for ct in self.platform.core_types:
+            pool = list(self.platform.cores_of_type(ct.name))
+            hold_back = reserved.get(ct.name, 0)
+            if hold_back:
+                pool = pool[: max(0, len(pool) - hold_back)]
+            free_cores[ct.name] = [
+                c for c in pool if c.core_id not in used_cores
+            ]
+        type_order = [ct.name for ct in self.platform.core_types]
+        pending = sorted(
+            (s for s in selections.values() if s.pid not in keep_hw),
+            key=lambda s: (-s.point.erv.total_cores(), s.pid),
+        )
+        placed: dict[int, frozenset[int]] = {}
+        for sel in pending:
+            erv = sel.point.erv
+            demand = dict(zip(type_order, erv.core_vector()))
+            if any(demand[name] > len(free_cores[name]) for name in type_order):
+                return False
+            hw_ids: list[int] = []
+            for comp, count in zip(erv.layout.components, erv.counts):
+                for _ in range(count):
+                    core = free_cores[comp.core_type].pop(0)
+                    hw_ids.extend(
+                        self._core_thread_ids[core.core_id][
+                            : comp.threads_used
+                        ]
+                    )
+            placed[sel.pid] = frozenset(hw_ids)
+        for pid, sel in selections.items():
+            sel.co_allocated = False
+            sel.hw_threads = keep_hw.get(pid, placed.get(pid, frozenset()))
+        return True
+
     # -- memoization -----------------------------------------------------------------
 
     @staticmethod
-    def _fingerprint(
-        requests: list[AllocationRequest],
-        capacity: list[int],
-        reserved: dict[str, int] | None,
-    ) -> tuple:
-        """A content hash of everything the solve and placement depend on.
+    def _request_key(req: AllocationRequest) -> tuple:
+        """A by-value hash of everything one request contributes to a solve.
 
         Point characteristics are captured by value, so a table whose
         points mutate in place (EMA updates, regression refreshes) changes
-        the fingerprint and invalidates any memoized solve.
+        the key and invalidates any memoized solve or cached row.
         """
-        req_keys = tuple(
-            (
-                req.pid,
-                req.mandatory,
-                req.max_utility,
-                req.hysteresis,
-                req.preferred_erv.counts if req.preferred_erv is not None else None,
-                tuple((p.erv.counts, p.utility, p.power) for p in req.points),
-            )
-            for req in requests
-        )
         return (
-            req_keys,
-            tuple(capacity),
-            tuple(sorted((reserved or {}).items())),
+            req.pid,
+            req.mandatory,
+            req.max_utility,
+            req.hysteresis,
+            req.preferred_erv.counts if req.preferred_erv is not None else None,
+            tuple((p.erv.counts, p.utility, p.power) for p in req.points),
         )
 
     def _cache_get(self, key: tuple) -> tuple | None:
@@ -306,21 +672,17 @@ class LagrangianAllocator:
             self._cache.popitem(last=False)
 
     @staticmethod
-    def _cache_entry(
-        requests: list[AllocationRequest],
-        choices: list[int],
-        result: AllocationResult,
+    def _cache_entry_from_result(
+        requests: list[AllocationRequest], result: AllocationResult
     ) -> tuple:
-        rows = tuple(
-            (
-                req.pid,
-                idx,
-                result.selections[req.pid].co_allocated,
-                result.selections[req.pid].hw_threads,
+        rows = []
+        for req in requests:
+            sel = result.selections[req.pid]
+            idx = next(
+                i for i, p in enumerate(req.points) if p is sel.point
             )
-            for req, idx in zip(requests, choices)
-        )
-        return (rows, result.feasible)
+            rows.append((req.pid, idx, sel.co_allocated, sel.hw_threads))
+        return (tuple(rows), result.feasible)
 
     @staticmethod
     def _rebuild_from_cache(
@@ -355,36 +717,60 @@ class LagrangianAllocator:
                 costs[match] *= req.hysteresis
         return costs
 
-    def _build_problem(
-        self, requests: list[AllocationRequest], n_types: int
-    ) -> _Problem:
+    def _request_rows(
+        self, req: AllocationRequest, req_key: tuple
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One application's (cost vector, resource matrix, kept indices).
+
+        Memoized by request value: consecutive epochs re-solve with mostly
+        unchanged tables, so the padding/pruning work is paid once per
+        distinct request instead of once per solve.
+        """
+        cached = self._row_cache.get(req_key)
+        if cached is not None:
+            self._row_cache.move_to_end(req_key)
+            self.stats.row_cache_hits += 1
+            return cached
         # counts @ projection == stacked core_vector()s, without the
         # per-point Python that used to dominate problem construction.
         proj = self.layout.type_projection()
+        counts_mat = np.array([p.erv.counts for p in req.points], dtype=float)
+        cost_vec = self._costs_of(req, counts_mat)
+        res_mat = counts_mat @ proj
+        keep = np.arange(len(req.points))
+        if self.prune and not req.mandatory and len(req.points) > 1:
+            # Hysteresis is applied before pruning, so a discounted
+            # current point survives exactly when the solver could
+            # still pick it.
+            dominated = dominated_mask(np.column_stack([cost_vec, res_mat]))
+            if dominated.any():
+                keep = np.flatnonzero(~dominated)
+                self.stats.points_pruned += int(dominated.sum())
+                if OBS.enabled:
+                    OBS.counter("allocator.points_pruned").inc(
+                        int(dominated.sum())
+                    )
+                cost_vec = cost_vec[keep]
+                res_mat = res_mat[keep]
+        entry = (cost_vec, res_mat, keep)
+        self._row_cache[req_key] = entry
+        while len(self._row_cache) > self._row_cache_size:
+            self._row_cache.popitem(last=False)
+        return entry
+
+    def _build_problem(
+        self,
+        requests: list[AllocationRequest],
+        req_keys: list[tuple] | None,
+        n_types: int,
+    ) -> _Problem:
+        if req_keys is None:
+            req_keys = [self._request_key(req) for req in requests]
         costs: list[np.ndarray] = []
         resources: list[np.ndarray] = []
         orig_index: list[np.ndarray] = []
-        for req in requests:
-            counts_mat = np.array([p.erv.counts for p in req.points], dtype=float)
-            cost_vec = self._costs_of(req, counts_mat)
-            res_mat = counts_mat @ proj
-            keep = np.arange(len(req.points))
-            if self.prune and not req.mandatory and len(req.points) > 1:
-                # Hysteresis is applied before pruning, so a discounted
-                # current point survives exactly when the solver could
-                # still pick it.
-                dominated = dominated_mask(
-                    np.column_stack([cost_vec, res_mat])
-                )
-                if dominated.any():
-                    keep = np.flatnonzero(~dominated)
-                    self.stats.points_pruned += int(dominated.sum())
-                    if OBS.enabled:
-                        OBS.counter("allocator.points_pruned").inc(
-                            int(dominated.sum())
-                        )
-                    cost_vec = cost_vec[keep]
-                    res_mat = res_mat[keep]
+        for req, rk in zip(requests, req_keys):
+            cost_vec, res_mat, keep = self._request_rows(req, rk)
             costs.append(cost_vec)
             resources.append(res_mat)
             orig_index.append(keep)
@@ -397,10 +783,32 @@ class LagrangianAllocator:
         requests: list[AllocationRequest],
         problem: _Problem,
         capacity: np.ndarray,
-    ) -> list[int]:
+        lam0: np.ndarray | None = None,
+        greedy_seed: list[int] | None = None,
+    ) -> tuple[list[int], np.ndarray | None, int, list[int] | None]:
+        """Run phase 1+2; returns (choices, final λ, iterations, greedy).
+
+        ``lam0`` warm-starts the subgradient loop; warm solves run the
+        shorter ``warm_iterations`` schedule and stop early once the
+        iterate has been feasible and unchanged for
+        ``_WARM_STABLE_ITERS`` consecutive iterations.  Cold solves
+        (``lam0 is None``) keep the original fixed schedule bit-for-bit.
+
+        ``greedy_seed`` (warm solves only) replaces the from-scratch
+        unconstrained-greedy starting point of primal recovery with the
+        previous epoch's repaired-greedy choices for unchanged
+        applications; repair then starts near-feasible and finishes in a
+        handful of steps instead of unwinding a fully oversubscribed
+        greedy pick every epoch.  The returned ``greedy`` component is
+        this epoch's repaired-greedy candidate, for seeding the next one.
+        """
         if self.mode == "reference":
-            return self._select_reference(requests, problem, capacity)
-        return self._select_vectorized(requests, problem, capacity)
+            return self._select_reference(
+                requests, problem, capacity, lam0, greedy_seed
+            )
+        return self._select_vectorized(
+            requests, problem, capacity, lam0, greedy_seed
+        )
 
     @staticmethod
     def _cost_scale(costs: list[np.ndarray]) -> float:
@@ -419,15 +827,23 @@ class LagrangianAllocator:
         requests: list[AllocationRequest],
         problem: _Problem,
         capacity: np.ndarray,
-    ) -> list[int]:
+        lam0: np.ndarray | None = None,
+        greedy_seed: list[int] | None = None,
+    ) -> tuple[list[int], np.ndarray, int, list[int]]:
         costs, resources = problem.costs, problem.resources
-        lam = np.zeros(len(capacity))
+        warm = lam0 is not None
+        lam = np.array(lam0, dtype=float) if warm else np.zeros(len(capacity))
+        max_iters = self.warm_iterations if warm else self.iterations
         cost_scale = self._cost_scale(costs)
         total_cores = float(max(capacity.sum(), 1.0))
         best_cost = np.inf
         best_choice: list[int] | None = None
         last_choice = [0] * len(requests)
-        for it in range(self.iterations):
+        prev_choice: list[int] | None = None
+        stable = 0
+        iters = 0
+        for it in range(max_iters):
+            iters = it + 1
             choice = []
             for req, cost_vec, res_mat in zip(requests, costs, resources):
                 if req.mandatory:
@@ -440,7 +856,8 @@ class LagrangianAllocator:
                 res_mat[c] for res_mat, c in zip(resources, choice)
             )
             violation = demand - capacity
-            if np.all(violation <= 0):
+            feasible = bool(np.all(violation <= 0))
+            if feasible:
                 # Feasible iterate: keep the cheapest one seen (the dual
                 # sequence oscillates, so later iterates are not always
                 # better).
@@ -452,17 +869,32 @@ class LagrangianAllocator:
             # λ moves in cost-per-core units.
             step = self.step0 * cost_scale / (total_cores * (1 + it))
             lam = np.maximum(0.0, lam + step * violation)
+            stable = stable + 1 if choice == prev_choice else 0
+            prev_choice = choice
+            if warm and feasible and stable >= self._WARM_STABLE_ITERS:
+                break
 
         # Primal recovery: repair both the final relaxed iterate and the
         # unconstrained greedy choice, then keep the cheapest feasible
         # candidate (including the best feasible dual iterate, if any).
-        unconstrained = [
-            0 if req.mandatory else int(np.argmin(cost_vec))
-            for req, cost_vec in zip(requests, costs)
+        # ``greedy_seed`` replaces per-app greedy picks for applications
+        # whose repaired-greedy choice from the previous epoch is still
+        # valid — repair then starts near-feasible instead of from the
+        # fully oversubscribed greedy point.
+        if greedy_seed is not None:
+            unconstrained = list(greedy_seed)
+        else:
+            unconstrained = [
+                0 if req.mandatory else int(np.argmin(cost_vec))
+                for req, cost_vec in zip(requests, costs)
+            ]
+        repaired_greedy = [
+            int(c)
+            for c in self._repair(requests, problem, unconstrained, capacity)
         ]
         candidates = [
             self._repair(requests, problem, last_choice, capacity),
-            self._repair(requests, problem, unconstrained, capacity),
+            repaired_greedy,
         ]
         if best_choice is not None:
             candidates.append(best_choice)
@@ -475,42 +907,67 @@ class LagrangianAllocator:
             if best is None or key < best[0]:
                 best = (key, choice)
         assert best is not None
-        return [int(c) for c in best[1]]
+        return [int(c) for c in best[1]], lam, iters, repaired_greedy
 
     def _select_vectorized(
         self,
         requests: list[AllocationRequest],
         problem: _Problem,
         capacity: np.ndarray,
-    ) -> list[int]:
+        lam0: np.ndarray | None = None,
+        greedy_seed: list[int] | None = None,
+    ) -> tuple[list[int], np.ndarray, int, list[int]]:
         C, R = problem.C, problem.R
         rows, mandatory = problem.rows, problem.mandatory
-        lam = np.zeros(len(capacity))
+        warm = lam0 is not None
+        lam = np.array(lam0, dtype=float) if warm else np.zeros(len(capacity))
+        max_iters = self.warm_iterations if warm else self.iterations
         cost_scale = self._cost_scale(problem.costs)
         total_cores = float(max(capacity.sum(), 1.0))
         best_cost = np.inf
         best_choice: np.ndarray | None = None
         choice = np.zeros(len(requests), dtype=int)
-        for it in range(self.iterations):
+        prev_choice: np.ndarray | None = None
+        stable = 0
+        iters = 0
+        for it in range(max_iters):
+            iters = it + 1
             penalized = C + R @ lam
             choice = np.argmin(penalized, axis=1)
             choice[mandatory] = 0
             demand = R[rows, choice].sum(axis=0)
             violation = demand - capacity
-            if np.all(violation <= 0):
+            feasible = bool(np.all(violation <= 0))
+            if feasible:
                 total = float(C[rows, choice].sum())
                 if total < best_cost:
                     best_cost = total
                     best_choice = choice.copy()
             step = self.step0 * cost_scale / (total_cores * (1 + it))
             lam = np.maximum(0.0, lam + step * violation)
+            stable = (
+                stable + 1
+                if prev_choice is not None and np.array_equal(choice, prev_choice)
+                else 0
+            )
+            prev_choice = choice
+            if warm and feasible and stable >= self._WARM_STABLE_ITERS:
+                break
         last_choice = choice
 
-        unconstrained = np.argmin(C, axis=1)
-        unconstrained[mandatory] = 0
+        # Mirror of the reference path's seeded primal recovery.
+        if greedy_seed is not None:
+            unconstrained = np.asarray(greedy_seed, dtype=int)
+        else:
+            unconstrained = np.argmin(C, axis=1)
+            unconstrained[mandatory] = 0
+        repaired_greedy_arr = np.asarray(
+            self._repair(requests, problem, unconstrained, capacity),
+            dtype=int,
+        )
         candidates = [
             self._repair(requests, problem, last_choice, capacity),
-            self._repair(requests, problem, unconstrained, capacity),
+            repaired_greedy_arr,
         ]
         if best_choice is not None:
             candidates.append(best_choice)
@@ -524,7 +981,12 @@ class LagrangianAllocator:
             if best is None or key < best[0]:
                 best = (key, cand)
         assert best is not None
-        return [int(c) for c in best[1]]
+        return (
+            [int(c) for c in best[1]],
+            lam,
+            iters,
+            [int(c) for c in repaired_greedy_arr],
+        )
 
     # -- phase 2: repair ----------------------------------------------------------------
 
@@ -666,8 +1128,39 @@ class LagrangianAllocator:
         fails, the manager builds fair-share selections itself and only
         needs the deterministic disjoint placement (with co-allocation
         overflow) that the solver normally runs as its phase 3.
+
+        Placement is a pure function of the selection signature (pid →
+        ERV counts), the capacity, and the reservation, so it is memoized:
+        a solver-failure storm re-validates each epoch against the cached
+        placement instead of rebuilding the per-core pools every call.
         """
+        key = (
+            tuple(
+                (pid, selections[pid].point.erv.counts)
+                for pid in sorted(selections)
+            ),
+            tuple(capacity),
+            tuple(sorted((reserved or {}).items())),
+        )
+        entry = self._placement_cache.get(key)
+        if entry is not None:
+            self._placement_cache.move_to_end(key)
+            self.stats.placement_cache_hits += 1
+            if OBS.enabled:
+                OBS.counter("allocator.placement_cache", result="hit").inc()
+            for pid, hw, co in entry:
+                selections[pid].hw_threads = hw
+                selections[pid].co_allocated = co
+            return
         self._mark_and_place(selections, capacity, reserved)
+        if OBS.enabled:
+            OBS.counter("allocator.placement_cache", result="miss").inc()
+        self._placement_cache[key] = tuple(
+            (pid, sel.hw_threads, sel.co_allocated)
+            for pid, sel in sorted(selections.items())
+        )
+        while len(self._placement_cache) > self._placement_cache_size:
+            self._placement_cache.popitem(last=False)
 
     def _mark_and_place(
         self,
@@ -683,12 +1176,17 @@ class LagrangianAllocator:
         """
         type_order = [ct.name for ct in self.platform.core_types]
         free_cores: dict[str, list] = {}
+        # Pools are consumed via an index cursor rather than pop(0): the
+        # head-pop shifts the whole list and dominated placement at fleet
+        # scale (hundreds of cores, hundreds of applications).
+        next_free: dict[str, int] = {}
         for name in type_order:
             pool = list(self.platform.cores_of_type(name))
             hold_back = (reserved or {}).get(name, 0)
             if hold_back:
                 pool = pool[: max(0, len(pool) - hold_back)]
             free_cores[name] = pool
+            next_free[name] = 0
 
         # Deterministic order: larger requests first, then pid.
         ordered = sorted(
@@ -696,27 +1194,31 @@ class LagrangianAllocator:
             key=lambda s: (-s.point.erv.total_cores(), s.pid),
         )
         pending_co: list[Selection] = []
+        thread_ids = self._core_thread_ids
         for sel in ordered:
             erv = sel.point.erv
-            demand = dict(zip(type_order, erv.core_vector()))
-            if any(demand[name] > len(free_cores[name]) for name in type_order):
+            if any(
+                need > len(free_cores[name]) - next_free[name]
+                for name, need in zip(type_order, erv.core_vector())
+            ):
                 pending_co.append(sel)
                 continue
             hw_ids: list[int] = []
             for comp, count in zip(erv.layout.components, erv.counts):
+                pool = free_cores[comp.core_type]
+                pos = next_free[comp.core_type]
                 for _ in range(count):
-                    core = free_cores[comp.core_type].pop(0)
+                    core = pool[pos]
+                    pos += 1
                     hw_ids.extend(
-                        t.thread_id
-                        for t in core.hw_threads[: comp.threads_used]
+                        thread_ids[core.core_id][: comp.threads_used]
                     )
+                next_free[comp.core_type] = pos
             sel.hw_threads = frozenset(hw_ids)
 
         # Co-allocation: share the least-loaded cores of the demanded types.
         if pending_co:
-            core_of_hw = {
-                t.thread_id: t.core_id for t in self.platform.hw_threads
-            }
+            core_of_hw = self._core_of_hw
             usage: dict[int, int] = {c.core_id: 0 for c in self.platform.cores}
             for sel in selections.values():
                 for hw_id in sel.hw_threads:
@@ -763,7 +1265,9 @@ class GreedyAllocator(LagrangianAllocator):
         requests: list[AllocationRequest],
         problem: _Problem,
         capacity: np.ndarray,
-    ) -> list[int]:
+        lam0: np.ndarray | None = None,
+        greedy_seed: list[int] | None = None,
+    ) -> tuple[list[int], np.ndarray | None, int, list[int] | None]:
         if self.mode == "reference":
             choice = [
                 0 if req.mandatory else int(np.argmin(cost_vec))
@@ -773,4 +1277,4 @@ class GreedyAllocator(LagrangianAllocator):
             choice = np.argmin(problem.C, axis=1)
             choice[problem.mandatory] = 0
         repaired = self._repair(requests, problem, choice, capacity)
-        return [int(c) for c in repaired]
+        return [int(c) for c in repaired], None, 0, None

@@ -139,6 +139,15 @@ class ManagerConfig:
     # utility-providing application counts as hung (feedback starvation)
     # and is reaped.
     utility_miss_limit: int = 3
+    # Batched reallocation epochs (docs/performance.md, "Scaling the
+    # control plane"): registrations, deregistrations, reaps, and
+    # measurement-driven triggers arriving within this window (simulated
+    # seconds) coalesce into one re-solve instead of one solve per event.
+    # 0 keeps the eager behavior: every event re-solves synchronously,
+    # bit-identical with the pre-batching control plane.  A session that
+    # has never been allocated flushes the window early, so a lone
+    # registration is never delayed beyond the next tick.
+    epoch_window_s: float = 0.0
 
 
 @dataclass
@@ -219,6 +228,11 @@ class HarpManager:
         self.allocation_epochs = 0
         self._all_ervs = self.layout.enumerate_all()
         self._next_sample_s = 0.0
+        # Batched-epoch state: when the pending epoch is due (None = no
+        # epoch pending) and how many triggers folded into it so far.
+        self._epoch_due_s: float | None = None
+        self._epoch_pending_events = 0
+        self.epoch_coalesced_events = 0
         # Robustness counters and fault hooks (docs/robustness.md).
         self.sessions_reaped = 0
         self.solver_fallbacks = 0
@@ -310,7 +324,9 @@ class HarpManager:
             # Offline mode: the description table is authoritative.
             session.table.stage = MaturityStage.STABLE
         self._charge(self.config.cost_per_message_s * 2)
-        self.reallocate()
+        # Urgent: the new session has no allocation yet, so the epoch
+        # window must not delay its first activation.
+        self._request_reallocation(urgent=True)
 
     def _on_process_exit(self, process: SimProcess) -> None:
         session = self.sessions.pop(process.pid, None)
@@ -319,7 +335,7 @@ class HarpManager:
         self.monitor.forget(process.pid)
         self._charge(self.config.cost_per_message_s)
         if self.sessions:
-            self.reallocate()
+            self._request_reallocation()
 
     def _on_tick(self, world: World) -> None:
         now = world.time_s
@@ -335,6 +351,8 @@ class HarpManager:
                 session.pending_activation = None
                 session.activation_due_s = None
                 self._push_activation(session, message)
+        if self._epoch_due_s is not None and now + 1e-9 >= self._epoch_due_s:
+            self.flush()
         if now + 1e-9 >= self._next_sample_s:
             self._next_sample_s = now + self.config.measure_interval_s
             self._sample_all()
@@ -380,7 +398,7 @@ class HarpManager:
             # defer the re-run until the current epoch unwinds.
             self._reap_during_realloc = True
         elif self.sessions:
-            self.reallocate()
+            self._request_reallocation()
 
     # -- monitoring & exploration progress -------------------------------------------
 
@@ -476,13 +494,54 @@ class HarpManager:
             # Each reap already triggers a reallocation for the survivors.
             self._reap_session(pid, reason="utility-starvation")
         if needs_reallocation and not starved:
-            self.reallocate()
+            self._request_reallocation()
 
     def _on_measurement(self, session: AppSession, sample) -> None:
         """Hook invoked after each recorded measurement (extension point,
         used by e.g. the phase-detection extension)."""
 
     # -- the allocation epoch -----------------------------------------------------------
+
+    def _request_reallocation(
+        self, urgent: bool = False
+    ) -> AllocationResult | None:
+        """Ask for an allocation epoch, coalescing under the epoch window.
+
+        With ``epoch_window_s == 0`` this *is* ``reallocate()`` — the
+        epoch runs synchronously at the call site, exactly like the eager
+        control plane.  With a window, the first trigger schedules an
+        epoch ``window`` seconds out and later triggers fold into it
+        (counted in ``epoch_coalesced_events``).  ``urgent`` triggers
+        (a session that has never been allocated) pull the deadline to
+        *now*, so the epoch runs on the next tick: a lone registration is
+        activated immediately rather than waiting out the window.
+        """
+        window = self.config.epoch_window_s
+        if window <= 0.0:
+            return self.reallocate()
+        now = self.world.time_s
+        due = now if urgent else now + window
+        self._epoch_pending_events += 1
+        if self._epoch_due_s is None:
+            self._epoch_due_s = due
+        else:
+            self._epoch_due_s = min(self._epoch_due_s, due)
+            self.epoch_coalesced_events += 1
+            if OBS.enabled:
+                OBS.counter("rm.epoch_coalesced_events").inc()
+        return None
+
+    def flush(self) -> AllocationResult | None:
+        """Run any pending batched epoch now; no-op when none is pending.
+
+        Tests (and shutdown paths) use this to drain the epoch window
+        deterministically instead of stepping the world to the deadline.
+        """
+        if self._epoch_due_s is None:
+            return None
+        self._epoch_due_s = None
+        self._epoch_pending_events = 0
+        return self.reallocate()
 
     def reallocate(self) -> AllocationResult | None:
         """Run the two-stage algorithm of §5.3: allocate, then explore."""
@@ -491,6 +550,9 @@ class HarpManager:
             # session): run again once the current epoch unwinds.
             self._reap_during_realloc = True
             return None
+        # A directly invoked epoch serves any pending batched triggers too.
+        self._epoch_due_s = None
+        self._epoch_pending_events = 0
         sessions = [
             s for s in self.sessions.values() if not s.process.finished
         ]
@@ -975,6 +1037,8 @@ class HarpManager:
         if self._shut_down:
             return
         self._shut_down = True
+        self._epoch_due_s = None
+        self._epoch_pending_events = 0
         for callbacks, cb in (
             (self.world.on_process_start, self._on_process_start),
             (self.world.on_process_exit, self._on_process_exit),

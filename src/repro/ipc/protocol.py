@@ -73,6 +73,64 @@ def send_message(sock: socket.socket, message: Message) -> None:
     sock.sendall(frame)
 
 
+def send_messages(sock: socket.socket, messages: list[Message]) -> None:
+    """Write several framed messages with a single ``sendall``.
+
+    Frame write batching: one epoch's worth of pushes to the same peer
+    costs one syscall and at most one wakeup on the receiving side,
+    instead of one per message.
+    """
+    if not messages:
+        return
+    frames = [FrameCodec.encode(message) for message in messages]
+    if OBS.enabled:
+        for message, frame in zip(messages, frames):
+            OBS.counter("ipc.frames", dir="send", type=message.TYPE).inc()
+            OBS.counter("ipc.bytes", dir="send", type=message.TYPE).inc(
+                len(frame)
+            )
+    sock.sendall(b"".join(frames))
+
+
+class StreamDecoder:
+    """Incremental frame parser for non-blocking transports.
+
+    ``feed()`` bytes as they arrive, then call ``next_message()`` until it
+    returns ``None`` (incomplete frame buffered).  A frame's bytes are
+    consumed *before* its body is decoded, so a ``MessageDecodeError``
+    (well-framed junk) leaves the stream in sync and parsing can resume;
+    a ``FrameIntegrityError`` (oversized frame) means the stream can no
+    longer be trusted.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def next_message(self) -> Message | None:
+        if len(self._buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack(bytes(self._buf[: _HEADER.size]))
+        if length > MAX_FRAME_BYTES:
+            raise FrameIntegrityError(f"frame too large: {length} bytes")
+        end = _HEADER.size + length
+        if len(self._buf) < end:
+            return None
+        body = bytes(self._buf[_HEADER.size : end])
+        del self._buf[:end]
+        message = FrameCodec.decode(body)
+        if OBS.enabled:
+            OBS.counter("ipc.frames", dir="recv", type=message.TYPE).inc()
+            OBS.counter("ipc.bytes", dir="recv", type=message.TYPE).inc(end)
+        return message
+
+
 def recv_message(
     sock: socket.socket, timeout: float | None = None
 ) -> Message | None:

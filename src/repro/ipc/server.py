@@ -1,10 +1,20 @@
 """Unix-socket endpoint of the HARP resource manager.
 
-A threaded ``AF_UNIX`` server: each application connection is served by a
-dedicated thread that decodes frames and dispatches them to a handler
-callback, which returns the reply message.  Push messages (allocation
-activations, utility polls) are delivered over the application's dedicated
-push socket, exactly as described in §4.1.1.
+An ``AF_UNIX`` server with two switchable serving modes:
+
+* ``threaded`` (default) — each application connection is served by a
+  dedicated thread that decodes frames and dispatches them to a handler
+  callback, which returns the reply message.
+* ``selector`` — a single event-loop thread multiplexes every connection
+  through :mod:`selectors` with non-blocking sockets, an incremental
+  frame decoder per connection, and write buffering.  At hundreds of
+  clients this avoids the per-connection thread cost and the
+  thundering-herd of idle poll wakeups.
+
+Push messages (allocation activations, utility polls) are delivered over
+the application's dedicated push socket, exactly as described in §4.1.1.
+``push_batch()`` coalesces one epoch's pushes to a client into a single
+wire flush.
 
 Hardening contract (docs/robustness.md): a misbehaving peer must never
 take the RM down.  A well-framed but undecodable message (garbage JSON,
@@ -22,17 +32,21 @@ from __future__ import annotations
 
 import contextlib
 import os
+import selectors
 import socket
 import threading
 from typing import Callable
 
 from repro.ipc.messages import Ack, ErrorReply, Message
 from repro.ipc.protocol import (
+    FrameCodec,
     FrameIntegrityError,
     MessageDecodeError,
     ProtocolError,
+    StreamDecoder,
     recv_message,
     send_message,
+    send_messages,
 )
 from repro.obs import OBS
 
@@ -43,6 +57,19 @@ Handler = Callable[[Message], Message | None]
 _POLL_TIMEOUT_S = 0.2
 
 
+class _SelectorConn:
+    """Per-connection state for the selector serving mode."""
+
+    __slots__ = ("sock", "decoder", "outbuf", "closing")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.decoder = StreamDecoder()
+        self.outbuf = bytearray()
+        #: Close once the out-buffer drains (after a non-recoverable error).
+        self.closing = False
+
+
 class HarpSocketServer:
     """The RM's request socket plus per-application push connections."""
 
@@ -51,10 +78,14 @@ class HarpSocketServer:
         socket_path: str,
         handler: Handler,
         join_timeout_s: float = 2.0,
+        mode: str = "threaded",
     ):
+        if mode not in ("threaded", "selector"):
+            raise ValueError(f"unknown server mode: {mode!r}")
         self.socket_path = socket_path
         self.handler = handler
         self.join_timeout_s = join_timeout_s
+        self.mode = mode
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
@@ -78,6 +109,13 @@ class HarpSocketServer:
         self._listener = listener
         self._stopping.clear()
         self._stopped = False
+        if self.mode == "selector":
+            loop_thread = threading.Thread(
+                target=self._selector_loop, name="harp-rm-selector", daemon=True
+            )
+            loop_thread.start()
+            self._threads.append(loop_thread)
+            return
         accept_thread = threading.Thread(
             target=self._accept_loop, name="harp-rm-accept", daemon=True
         )
@@ -158,6 +196,38 @@ class HarpSocketServer:
             self.close_push_channel(pid)
             return False
 
+    def push_batch(self, pid: int, messages: list[Message]) -> bool:
+        """Deliver several pushes to one application in one wire flush.
+
+        The epoch model produces a burst of pushes per client (activation
+        plus any utility polls); batching them keeps the syscall and
+        wakeup count per epoch at one per client instead of one per
+        message.  False if the client is unreachable.
+        """
+        if not messages:
+            return True
+        with self._push_lock:
+            sock = self._push_sockets.get(pid)
+        if sock is None:
+            return False
+        try:
+            send_messages(sock, messages)
+            if OBS.enabled:
+                OBS.counter("ipc.push_batches").inc()
+                for message in messages:
+                    OBS.counter(
+                        "ipc.pushes", type=message.TYPE, delivered="true"
+                    ).inc()
+            return True
+        except OSError:
+            if OBS.enabled:
+                for message in messages:
+                    OBS.counter(
+                        "ipc.pushes", type=message.TYPE, delivered="false"
+                    ).inc()
+            self.close_push_channel(pid)
+            return False
+
     def close_push_channel(self, pid: int) -> None:
         with self._push_lock:
             sock = self._push_sockets.pop(pid, None)
@@ -226,19 +296,185 @@ class HarpSocketServer:
                 return
             if message is None:
                 return
-            obs_on = OBS.enabled
-            t0 = OBS.walltime() if obs_on else 0.0
-            try:
-                reply = self.handler(message)
-            except Exception as exc:  # handler bug must not kill the RM
-                reply = Ack(ok=False, error=f"handler error: {exc}")
-            if obs_on:
-                OBS.counter("ipc.handled", type=message.TYPE).inc()
-                OBS.histogram(
-                    "ipc.handler_seconds", type=message.TYPE
-                ).observe(OBS.walltime() - t0)
+            reply = self._dispatch(message)
             if reply is not None:
                 try:
                     send_message(conn, reply)
                 except OSError:
                     return
+
+    def _dispatch(self, message: Message) -> Message | None:
+        obs_on = OBS.enabled
+        t0 = OBS.walltime() if obs_on else 0.0
+        try:
+            reply = self.handler(message)
+        except Exception as exc:  # handler bug must not kill the RM
+            reply = Ack(ok=False, error=f"handler error: {exc}")
+        if obs_on:
+            OBS.counter("ipc.handled", type=message.TYPE).inc()
+            OBS.histogram(
+                "ipc.handler_seconds", type=message.TYPE
+            ).observe(OBS.walltime() - t0)
+        return reply
+
+    # -- selector mode ------------------------------------------------------------------
+
+    def _selector_loop(self) -> None:
+        """Single event-loop thread multiplexing every connection."""
+        listener = self._listener
+        assert listener is not None
+        sel = selectors.DefaultSelector()
+        try:
+            listener.settimeout(0.0)
+            sel.register(listener, selectors.EVENT_READ)
+        except OSError:
+            # stop() already closed the listener before the loop started.
+            sel.close()
+            return
+        states: dict[socket.socket, _SelectorConn] = {}
+        try:
+            while not self._stopping.is_set():
+                try:
+                    ready = sel.select(timeout=_POLL_TIMEOUT_S)
+                except OSError:
+                    return
+                for key, events in ready:
+                    if key.fileobj is listener:
+                        self._selector_accept(sel, states)
+                        continue
+                    state = states.get(key.fileobj)
+                    if state is None:
+                        continue
+                    if events & selectors.EVENT_WRITE:
+                        self._selector_flush(sel, states, state)
+                    if (
+                        events & selectors.EVENT_READ
+                        and key.fileobj in states
+                    ):
+                        self._selector_read(sel, states, state)
+        finally:
+            for state in list(states.values()):
+                self._selector_drop(sel, states, state)
+            sel.close()
+
+    def _selector_accept(
+        self,
+        sel: selectors.BaseSelector,
+        states: dict[socket.socket, _SelectorConn],
+    ) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            conn.settimeout(0.0)
+            state = _SelectorConn(conn)
+            states[conn] = state
+            with self._conn_lock:
+                self._conns.add(conn)
+            sel.register(conn, selectors.EVENT_READ, state)
+
+    def _selector_read(
+        self,
+        sel: selectors.BaseSelector,
+        states: dict[socket.socket, _SelectorConn],
+        state: _SelectorConn,
+    ) -> None:
+        try:
+            data = state.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._selector_drop(sel, states, state)
+            return
+        if not data:
+            self._selector_drop(sel, states, state)
+            return
+        state.decoder.feed(data)
+        while state.sock in states:
+            try:
+                message = state.decoder.next_message()
+            except MessageDecodeError as exc:
+                # Well-framed junk: the frame's bytes are already consumed,
+                # so the stream is in sync — report and keep parsing.
+                if OBS.enabled:
+                    OBS.counter("ipc.error_replies", reason="decode").inc()
+                self._selector_send(
+                    sel, states, state,
+                    ErrorReply(error=str(exc), recoverable=True),
+                )
+                continue
+            except (FrameIntegrityError, ProtocolError) as exc:
+                if OBS.enabled:
+                    OBS.counter("ipc.error_replies", reason="framing").inc()
+                self._selector_send(
+                    sel, states, state,
+                    ErrorReply(error=str(exc), recoverable=False),
+                )
+                state.closing = True
+                if state.sock in states and not state.outbuf:
+                    self._selector_drop(sel, states, state)
+                return
+            if message is None:
+                return
+            reply = self._dispatch(message)
+            if reply is not None:
+                self._selector_send(sel, states, state, reply)
+
+    def _selector_send(
+        self,
+        sel: selectors.BaseSelector,
+        states: dict[socket.socket, _SelectorConn],
+        state: _SelectorConn,
+        message: Message,
+    ) -> None:
+        try:
+            frame = FrameCodec.encode(message)
+        except ProtocolError:
+            return
+        if OBS.enabled:
+            OBS.counter("ipc.frames", dir="send", type=message.TYPE).inc()
+            OBS.counter("ipc.bytes", dir="send", type=message.TYPE).inc(
+                len(frame)
+            )
+        state.outbuf.extend(frame)
+        self._selector_flush(sel, states, state)
+
+    def _selector_flush(
+        self,
+        sel: selectors.BaseSelector,
+        states: dict[socket.socket, _SelectorConn],
+        state: _SelectorConn,
+    ) -> None:
+        while state.outbuf:
+            try:
+                sent = state.sock.send(state.outbuf)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._selector_drop(sel, states, state)
+                return
+            del state.outbuf[:sent]
+        if not state.outbuf and state.closing:
+            self._selector_drop(sel, states, state)
+            return
+        events = selectors.EVENT_READ
+        if state.outbuf:
+            events |= selectors.EVENT_WRITE
+        with contextlib.suppress(KeyError, ValueError, OSError):
+            sel.modify(state.sock, events, state)
+
+    def _selector_drop(
+        self,
+        sel: selectors.BaseSelector,
+        states: dict[socket.socket, _SelectorConn],
+        state: _SelectorConn,
+    ) -> None:
+        states.pop(state.sock, None)
+        with contextlib.suppress(KeyError, ValueError):
+            sel.unregister(state.sock)
+        with self._conn_lock:
+            self._conns.discard(state.sock)
+        with contextlib.suppress(OSError):
+            state.sock.close()

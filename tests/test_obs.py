@@ -70,6 +70,10 @@ def _golden_registry() -> Registry:
     )
     registry.counter("allocator.solves").inc(3)
     registry.counter("ipc.frames", dir="send", type="register").inc(2)
+    # Control-plane scaling counters (docs/performance.md).
+    registry.counter("alloc.warm_start_hits").inc(2)
+    registry.counter("rm.epoch_coalesced_events").inc(5)
+    registry.counter("ipc.push_batches").inc(4)
     registry.gauge("monitor.package_power_w").set(42.5)
     hist = registry.histogram("sim.tick_seconds")
     for value in (0.0005, 0.002, 0.2):
@@ -263,6 +267,10 @@ class TestExporters:
         assert "# TYPE harp_allocator_solves counter" in text
         assert "harp_allocator_solves 3" in text
         assert 'harp_ipc_frames{dir="send",type="register"} 2' in text
+        assert "# TYPE harp_alloc_warm_start_hits counter" in text
+        assert "harp_alloc_warm_start_hits 2" in text
+        assert "harp_rm_epoch_coalesced_events 5" in text
+        assert "harp_ipc_push_batches 4" in text
         assert "# TYPE harp_monitor_package_power_w gauge" in text
         assert 'harp_sim_tick_seconds_bucket{le="+Inf"} 3' in text
         assert "harp_sim_tick_seconds_count 3" in text

@@ -138,7 +138,7 @@ def test_repair_bound_scales_with_problem_size(intel, intel_layout):
         )
         for pid in range(3)
     ]
-    problem = alloc._build_problem(requests, 2)
+    problem = alloc._build_problem(requests, None, 2)
     assert alloc._repair_bound(problem) == 3 * problem.C.shape[1]
 
 
