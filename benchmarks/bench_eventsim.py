@@ -1,0 +1,150 @@
+"""Event-engine benchmark: tick vs event wall-clock on fleet scenarios.
+
+Three named profiles from :data:`repro.scenario.PROFILES` exercise the
+three regimes the event engine was built for:
+
+* **idle-heavy** — sparse Poisson arrivals, the machine mostly idle; the
+  event engine leaps the idle stretches and should win ≥ 20× (full
+  profile) / ≥ 5× (smoke, shorter horizon so the fixed per-run costs
+  weigh more).
+* **bursty-1k** — MMPP arrivals with heavy-tailed, mostly-thinking
+  interactive sessions sustaining ≥ 1k concurrently live apps for a
+  simulated fleet-hour.  Run through the sweep driver (the recorded
+  artifact the ROADMAP's fleet-scale claim is gated on); the full
+  profile must finish in under 5 minutes.
+* **steady-64** — a dense, always-busy fleet where both engines do the
+  same per-tick work; reported for information (the event engine must
+  not be meaningfully slower when there is nothing to leap).
+
+Every run also cross-checks tick-vs-event bit parity on the profile's
+summary (energy, ticks, completions) — a benchmark that drifts is a bug,
+not a speedup.
+
+Writes ``BENCH_eventsim.json`` at the repo root (full profile) or
+``benchmarks/results/BENCH_eventsim_smoke.json`` (``--smoke`` /
+``HARP_BENCH_SMOKE=1``), so CI never overwrites the committed numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eventsim.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # allow running as a plain script
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.scenario import PROFILES, run_sweep, run_trace
+
+RESULT_PATH = _REPO_ROOT / "BENCH_eventsim.json"
+SMOKE_RESULT_PATH = (
+    _REPO_ROOT / "benchmarks" / "results" / "BENCH_eventsim_smoke.json"
+)
+
+#: Fleet-hour wall-clock budget for the full bursty-1k run (seconds).
+FLEET_HOUR_BUDGET_S = 300.0
+
+
+def _strip_wall(result: dict) -> dict:
+    return {
+        k: v for k, v in result.items() if k not in ("wall_s", "engine")
+    }
+
+
+def bench_engine_ratio(profile: str, duration_s: float, seed: int = 0) -> dict:
+    """Run one profile under both engines; verify parity, report speedup."""
+    spec = replace(PROFILES[profile], duration_s=duration_s)
+    event = run_trace(spec, seed=seed, engine="event")
+    tick = run_trace(spec, seed=seed, engine="tick")
+    if _strip_wall(event) != _strip_wall(tick):
+        raise AssertionError(
+            f"{profile}: tick/event summaries diverged — parity bug"
+        )
+    return {
+        "profile": profile,
+        "duration_s": duration_s,
+        "seed": seed,
+        "ticks": event["ticks"],
+        "spawned": event["spawned"],
+        "completed": event["completed"],
+        "peak_live": event["peak_live"],
+        "energy_j": event["energy_j"],
+        "tick_wall_s": tick["wall_s"],
+        "event_wall_s": event["wall_s"],
+        "speedup": tick["wall_s"] / event["wall_s"],
+    }
+
+
+def bench_fleet_hour(duration_s: float, seeds: list[int]) -> dict:
+    """The recorded fleet-scale artifact: bursty-1k via the sweep driver."""
+    spec = replace(PROFILES["bursty-1k"], duration_s=duration_s)
+    out = run_sweep([spec], seeds=seeds, engine="event", jobs=len(seeds))
+    runs = out["runs"]
+    return {
+        "profile": "bursty-1k",
+        "duration_s": duration_s,
+        "seeds": seeds,
+        "engine": "event",
+        "wall_s_max": max(r["wall_s"] for r in runs),
+        "peak_live_min": min(r["peak_live"] for r in runs),
+        "spawned": sum(r["spawned"] for r in runs),
+        "completed": sum(r["completed"] for r in runs),
+        "mean_energy_j": sum(r["energy_j"] for r in runs) / len(runs),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    if smoke:
+        idle = bench_engine_ratio("idle-heavy", duration_s=120.0)
+        steady = bench_engine_ratio("steady-64", duration_s=20.0)
+        fleet = bench_fleet_hour(duration_s=120.0, seeds=[0])
+    else:
+        idle = bench_engine_ratio("idle-heavy", duration_s=600.0)
+        steady = bench_engine_ratio("steady-64", duration_s=120.0)
+        fleet = bench_fleet_hour(duration_s=3600.0, seeds=[0])
+    report = {
+        "bench": "eventsim",
+        "smoke": smoke,
+        "idle_heavy": idle,
+        "steady_64": steady,
+        "fleet_hour": fleet,
+    }
+    path = SMOKE_RESULT_PATH if smoke else RESULT_PATH
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nresults written to {path}")
+
+    # CI regression gates.
+    floor = 5.0 if smoke else 20.0
+    assert idle["speedup"] >= floor, (
+        f"idle-heavy event speedup {idle['speedup']:.1f}x below the "
+        f"{floor:.0f}x gate"
+    )
+    if not smoke:
+        assert fleet["wall_s_max"] <= FLEET_HOUR_BUDGET_S, (
+            f"fleet-hour took {fleet['wall_s_max']:.0f}s, over the "
+            f"{FLEET_HOUR_BUDGET_S:.0f}s budget"
+        )
+        assert fleet["peak_live_min"] >= 1000, (
+            f"fleet-hour peaked at {fleet['peak_live_min']} live sessions, "
+            "below the 1k-concurrent target"
+        )
+    return report
+
+
+def test_eventsim_smoke():
+    """Pytest entry point: scaled-down run, regression gate only."""
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv or os.environ.get("HARP_BENCH_SMOKE") == "1"
+    run(smoke=smoke)

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro hardware  --platform intel --out hw.json
     python -m repro experiment --name attribution
     python -m repro obs-report --apps ep.C mg.C --perfetto trace.json
+    python -m repro sweep     --profile bursty-1k --seeds 0 1 2 --out runs.jsonl
 
 ``scenario`` runs an evaluation scenario under one policy and prints
 makespan/energy (plus factors vs a baseline when requested); ``dse``
@@ -15,7 +16,9 @@ generates an application profile via offline design-space exploration;
 of the paper's experiments at a quick scale and prints its rows;
 ``obs-report`` runs a scenario with harpobs telemetry enabled and prints
 a registry summary, optionally exporting Perfetto / Prometheus / JSONL
-dumps (see ``docs/observability.md``).
+dumps (see ``docs/observability.md``); ``sweep`` fans fleet scenarios ×
+seeds across worker processes and merges per-run JSONL results (see
+``docs/fleet_scenarios.md``).
 """
 
 from __future__ import annotations
@@ -190,6 +193,52 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenario import PROFILES, ScenarioSpec, run_sweep
+
+    specs = []
+    for name in args.profile or []:
+        profile = PROFILES.get(name)
+        if profile is None:
+            print(f"unknown profile {name!r}; known: {sorted(PROFILES)}",
+                  file=sys.stderr)
+            return 2
+        specs.append(profile)
+    for path in args.spec or []:
+        with open(path) as fh:
+            specs.append(ScenarioSpec.from_json(fh.read()))
+    if not specs:
+        print("nothing to sweep: pass --profile and/or --spec",
+              file=sys.stderr)
+        return 2
+    if args.duration is not None:
+        from dataclasses import replace
+
+        specs = [replace(s, duration_s=args.duration) for s in specs]
+    out = run_sweep(
+        specs,
+        seeds=args.seeds,
+        engine=args.engine,
+        jobs=args.jobs,
+        out_path=args.out,
+    )
+    summary = out["summary"]
+    for name, row in summary.items():
+        print(f"{name}: {row['runs']} runs x {row['fleet_seconds'] / row['runs']:.0f}s "
+              f"fleet time, wall {row['wall_s_total']:.1f}s total "
+              f"(max {row['wall_s_max']:.1f}s), "
+              f"mean energy {row['mean_energy_j']:.0f} J, "
+              f"mean completed {row['mean_completed']:.1f}, "
+              f"mean peak live {row['mean_peak_live']:.0f}")
+    if args.out:
+        print(f"per-run results -> {args.out}")
+    if args.summary_json:
+        with open(args.summary_json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"summary -> {args.summary_json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +304,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--jsonl", default=None, metavar="PATH",
                             help="write the structured event log as JSONL")
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan fleet scenarios x seeds across worker processes",
+    )
+    sweep.add_argument("--profile", nargs="*", default=None,
+                       help="named scenario profiles (repro.scenario.PROFILES)")
+    sweep.add_argument("--spec", nargs="*", default=None, metavar="PATH",
+                       help="scenario JSON files (docs/fleet_scenarios.md)")
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0],
+                       help="one run per (scenario, seed) pair")
+    sweep.add_argument("--engine", default="event",
+                       choices=["tick", "event"])
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="override every scenario's duration_s")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write per-run results as JSONL")
+    sweep.add_argument("--summary-json", default=None, metavar="PATH",
+                       help="write the merged per-scenario summary as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

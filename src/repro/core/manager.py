@@ -54,6 +54,7 @@ from repro.libharp.adaptivity import AdaptationMode, SimProcessAdapter
 from repro.obs import OBS
 from repro.libharp.client import LibHarpClient
 from repro.sim.engine import AppPerf, ThreadSlot, World
+from repro.sim.event import EventKind
 from repro.sim.process import SimProcess
 
 
@@ -255,7 +256,13 @@ class HarpManager:
             )
         world.on_process_start.append(self._on_process_start)
         world.on_process_exit.append(self._on_process_exit)
-        world.on_tick.append(self._on_tick)
+        # The RM listens on the engine's event hook: fired every tick on
+        # the fixed-tick engine, once per advance boundary on the event
+        # engine.  All timed work below is deadline-driven and announced
+        # through request_wakeup, so the event engine never leaps past an
+        # epoch, sample, activation, or lease expiry.
+        world.on_event.append(self._on_event)
+        self._wake_deadlines()
 
     # -- message handling (the RM side of Fig. 3) ----------------------------------
 
@@ -337,7 +344,7 @@ class HarpManager:
         if self.sessions:
             self._request_reallocation()
 
-    def _on_tick(self, world: World) -> None:
+    def _on_event(self, world: World) -> None:
         now = world.time_s
         # Apply deferred activations (registration/communication latency).
         # A failed push reaps its session, so iterate over a copy.
@@ -357,6 +364,31 @@ class HarpManager:
             self._next_sample_s = now + self.config.measure_interval_s
             self._sample_all()
         self._check_leases(now)
+        self._wake_deadlines()
+
+    def _wake_deadlines(self) -> None:
+        """Announce every pending deadline to an event-driven engine.
+
+        Wakeups are conservative (possibly one tick early); a deadline
+        that has not arrived yet is simply re-announced from the next
+        boundary, which converges on the exact tick the fixed-tick engine
+        would have acted.  The sampling chain is always announced, so an
+        attached manager bounds leaps to one measure interval.
+        """
+        world = self.world
+        if not world.event_driven or self._shut_down:
+            return
+        world.request_wakeup(self._next_sample_s, EventKind.MONITOR)
+        if self._epoch_due_s is not None:
+            world.request_wakeup(self._epoch_due_s, EventKind.REALLOC)
+        earliest_seen: float | None = None
+        for session in self.sessions.values():
+            if session.activation_due_s is not None:
+                world.request_wakeup(session.activation_due_s, EventKind.WAKEUP)
+            if earliest_seen is None or session.last_seen_s < earliest_seen:
+                earliest_seen = session.last_seen_s
+        if earliest_seen is not None:
+            world.request_wakeup(earliest_seen + self._lease_s(), EventKind.TIMER)
 
     # -- liveness (docs/robustness.md) ------------------------------------------------
 
@@ -529,6 +561,7 @@ class HarpManager:
             self.epoch_coalesced_events += 1
             if OBS.enabled:
                 OBS.counter("rm.epoch_coalesced_events").inc()
+        self._wake_deadlines()
         return None
 
     def flush(self) -> AllocationResult | None:
@@ -575,6 +608,8 @@ class HarpManager:
             self._reap_during_realloc = False
             if self.sessions:
                 self.reallocate()
+        # An epoch can defer activations (reply latency); announce them.
+        self._wake_deadlines()
         return result
 
     def _reallocate(self, sessions: list[AppSession]) -> AllocationResult:
@@ -1042,7 +1077,7 @@ class HarpManager:
         for callbacks, cb in (
             (self.world.on_process_start, self._on_process_start),
             (self.world.on_process_exit, self._on_process_exit),
-            (self.world.on_tick, self._on_tick),
+            (self.world.on_event, self._on_event),
         ):
             with contextlib.suppress(ValueError):
                 callbacks.remove(cb)

@@ -1,7 +1,10 @@
 """Executes a :class:`~repro.fault.plan.FaultPlan` against a live world.
 
-The injector registers an ``on_tick`` callback and fires each scheduled
-fault on the first tick at or after its timestamp.  All faults act
+The injector registers an ``on_event`` callback and fires each scheduled
+fault on the first advance boundary at or after its timestamp; on the
+event engine every fault timestamp is announced as a wakeup, so a leap
+never skips an injection point and the firing tick matches the tick
+engine exactly.  All faults act
 through the same deterministic surfaces the production code exposes —
 ``World.kill``, the in-process transport's fault hooks, the manager's
 forced-solver-failure budget, and snapshot/restore — so a faulted run
@@ -18,6 +21,7 @@ from repro.fault.plan import Fault, FaultKind, FaultPlan
 from repro.ipc.messages import Message, UtilityReply, UtilityRequest
 from repro.obs import OBS
 from repro.sim.engine import World
+from repro.sim.event import EventKind
 
 
 class SimFaultInjector:
@@ -46,11 +50,12 @@ class SimFaultInjector:
         #: Audit trail: one record per scheduled fault, in firing order.
         self.log: list[dict] = []
         self._next = 0
-        world.on_tick.append(self._on_tick)
+        world.on_event.append(self._on_event)
+        self._wake_next()
 
     # -- scheduling -----------------------------------------------------------------
 
-    def _on_tick(self, world: World) -> None:
+    def _on_event(self, world: World) -> None:
         while (
             self._next < len(self.plan.faults)
             and self.plan.faults[self._next].at_s <= world.time_s
@@ -58,6 +63,14 @@ class SimFaultInjector:
             fault = self.plan.faults[self._next]
             self._next += 1
             self._fire(fault)
+        self._wake_next()
+
+    def _wake_next(self) -> None:
+        """Announce the next pending fault time to an event-driven world."""
+        if self.world.event_driven and self._next < len(self.plan.faults):
+            self.world.request_wakeup(
+                self.plan.faults[self._next].at_s, EventKind.FAULT
+            )
 
     def done(self) -> bool:
         """True when every scheduled fault has fired."""

@@ -7,11 +7,13 @@ exercises the switchable entry point; a new switch without a test is a
 parity claim nobody verifies.
 
 A *parity switch* is (a) a public function or a class whose ``__init__``
-takes a ``vectorized`` parameter or a ``mode`` parameter defaulting to
-``"vectorized"``/``"reference"``, or (b) a class any of whose methods
-branch on ``self.mode``/``self.vectorized``.  The rule walks every test
-module's AST and requires the switch's public name (the class name for
-methods) to be referenced somewhere under ``tests/``.
+takes a ``vectorized`` parameter, a ``mode`` parameter defaulting to
+``"vectorized"``/``"reference"``, or an ``engine`` parameter defaulting
+to ``"tick"``/``"event"`` (the fixed-tick vs event-heap engine switch —
+a bit-parity claim just like reference/vectorized), or (b) a class any
+of whose methods branch on ``self.mode``/``self.vectorized``.  The rule
+walks every test module's AST and requires the switch's public name (the
+class name for methods) to be referenced somewhere under ``tests/``.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.lint.registry import Rule, register
 from repro.lint.source import Project, SourceFile
 
 _MODE_DEFAULTS = {"vectorized", "reference"}
+_ENGINE_DEFAULTS = {"tick", "event"}
 
 
 def _has_switch_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -32,7 +35,7 @@ def _has_switch_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
     names = [a.arg for a in params]
     if "vectorized" in names:
         return True
-    if "mode" not in names:
+    if "mode" not in names and "engine" not in names:
         return False
     # Align defaults with the tail of the positional parameter list.
     pos = [*args.posonlyargs, *args.args]
@@ -46,12 +49,15 @@ def _has_switch_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
             if d is not None
         }
     )
-    default = defaults.get("mode")
-    return (
-        isinstance(default, ast.Constant)
-        and isinstance(default.value, str)
-        and default.value in _MODE_DEFAULTS
-    )
+    for param, allowed in (("mode", _MODE_DEFAULTS), ("engine", _ENGINE_DEFAULTS)):
+        default = defaults.get(param)
+        if (
+            isinstance(default, ast.Constant)
+            and isinstance(default.value, str)
+            and default.value in allowed
+        ):
+            return True
+    return False
 
 
 def _branches_on_switch(node: ast.AST) -> bool:

@@ -38,6 +38,37 @@ class EnergySensor:
             delta *= max(0.0, 1.0 + self._rng.normal(0.0, self.noise_std))
         self._energy_j += delta
 
+    def accumulate_constant(self, power_w: float, dt_s: float, n: int) -> None:
+        """Integrate ``n`` intervals of constant power, bit-identically.
+
+        Equivalent to calling :meth:`accumulate` ``n`` times with the same
+        arguments — same RNG stream consumption (``default_rng`` draws a
+        batch of normals identically to repeated scalar draws), same
+        sequential float accumulation order — but with the noise draws
+        batched.  The event engine uses this to leap over idle stretches
+        without diverging from the tick engine's energy counter.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if n == 0:
+            return
+        if dt_s < 0:
+            raise ValueError("dt_s must be >= 0")
+        if power_w < 0:
+            raise ValueError("power_w must be >= 0")
+        base = power_w * dt_s
+        if self.noise_std > 0:
+            noise = self._rng.normal(0.0, self.noise_std, size=n)
+            energy = self._energy_j
+            for i in range(n):
+                energy += base * max(0.0, 1.0 + noise[i])
+            self._energy_j = energy
+        else:
+            energy = self._energy_j
+            for _ in range(n):
+                energy += base
+            self._energy_j = energy
+
     def read_energy_j(self) -> float:
         """Current counter value in joules (monotonic)."""
         return self._energy_j

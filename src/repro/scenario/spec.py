@@ -1,0 +1,175 @@
+"""Scenario specifications: the JSON-serializable shape of a fleet run.
+
+A :class:`ScenarioSpec` fully determines a workload trace given a seed —
+the generator is a pure function of (spec, seed) — so runs are exactly
+reproducible across machines and engines.  The JSON schema is documented
+in ``docs/fleet_scenarios.md``; named profiles used by the benchmarks and
+CI live in :data:`PROFILES`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything that defines a fleet scenario.
+
+    Attributes:
+        name: profile identifier (free-form).
+        platform: ``"intel"`` or ``"odroid"``.
+        scheduler: ``"cfs"`` / ``"eas"`` / ``"itd"`` / ``"pinned"``.
+        policy: ``"none"`` (no RM) or ``"harp"`` (a :class:`HarpManager`
+            is attached and sessions spawn managed).
+        duration_s: simulated fleet time.
+        arrival: ``"poisson"`` (time-homogeneous) or ``"mmpp"`` (two-state
+            Markov-modulated Poisson: calm/burst dwell times with separate
+            rates — the bursty arrival structure of real fleets).
+        rate_per_s: arrival rate (the calm-state rate under ``mmpp``).
+        burst_rate_per_s: burst-state arrival rate (``mmpp`` only).
+        calm_dwell_s / burst_dwell_s: mean exponential dwell time per
+            MMPP state.
+        diurnal_amplitude: 0..1 sinusoidal thinning of arrivals over
+            ``diurnal_period_s`` (0 disables the diurnal cycle).
+        diurnal_period_s: period of the diurnal modulation.
+        app_mix: model-name → weight over the existing app suites (e.g.
+            ``{"ep.C": 2.0, "vgg": 1.0}``); sampled per arrival.
+        nthreads_choices: candidate thread counts, sampled per session.
+        work_scale_mean: mean multiplier on the base model's
+            ``total_work`` (session *size*).
+        work_tail: ``"lognormal"``, ``"pareto"``, or ``"fixed"`` —
+            heavy-tailed session-length distribution.
+        work_sigma: lognormal σ, or Pareto shape α (tail heaviness).
+        think_fraction: fraction of a session's lifetime spent *thinking*
+            (blocked, zero CPU demand) between compute bursts — this is
+            what lets thousands of sessions be concurrently alive while
+            only a few are runnable.
+        think_mean_s: mean think-phase duration.
+        burst_mean_s: mean compute-burst duration (phase lengths are
+            exponential around these means).
+        max_live: admission cap on concurrently alive sessions
+            (None = unbounded).
+    """
+
+    name: str = "custom"
+    platform: str = "intel"
+    scheduler: str = "cfs"
+    policy: str = "none"
+    duration_s: float = 60.0
+    arrival: str = "poisson"
+    rate_per_s: float = 0.5
+    burst_rate_per_s: float = 0.0
+    calm_dwell_s: float = 20.0
+    burst_dwell_s: float = 5.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 86_400.0
+    app_mix: dict[str, float] = field(
+        default_factory=lambda: {"ep.C": 1.0, "cg.C": 1.0, "is.C": 1.0}
+    )
+    nthreads_choices: list[int] = field(default_factory=lambda: [1, 2, 4])
+    work_scale_mean: float = 0.02
+    work_tail: str = "lognormal"
+    work_sigma: float = 1.0
+    think_fraction: float = 0.0
+    think_mean_s: float = 2.0
+    burst_mean_s: float = 0.5
+    max_live: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.arrival not in ("poisson", "mmpp"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.work_tail not in ("lognormal", "pareto", "fixed"):
+            raise ValueError(f"unknown work_tail {self.work_tail!r}")
+        if not 0.0 <= self.think_fraction < 1.0:
+            raise ValueError("think_fraction must be in [0, 1)")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if not self.app_mix:
+            raise ValueError("app_mix must not be empty")
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+#: Named profiles used by benchmarks, CI, and the CLI.  ``idle-heavy``
+#: exercises the event engine's leap path (sparse arrivals, machine
+#: mostly idle); ``bursty-1k`` sustains ≥1k concurrently alive sessions
+#: with MMPP bursts and heavy thinking; ``steady-64`` is a dense
+#: always-busy fleet where tick and event engines do the same work;
+#: ``diurnal-day`` compresses a day-shaped load curve into one hour.
+PROFILES: dict[str, ScenarioSpec] = {
+    "idle-heavy": ScenarioSpec(
+        name="idle-heavy",
+        duration_s=600.0,
+        arrival="poisson",
+        rate_per_s=0.02,
+        app_mix={"ep.C": 1.0, "is.C": 1.0},
+        nthreads_choices=[2, 4],
+        work_scale_mean=0.01,
+        work_sigma=0.5,
+    ),
+    "bursty-1k": ScenarioSpec(
+        name="bursty-1k",
+        duration_s=3600.0,
+        arrival="mmpp",
+        rate_per_s=0.5,
+        burst_rate_per_s=4.0,
+        calm_dwell_s=45.0,
+        burst_dwell_s=8.0,
+        app_mix={"ep.C": 2.0, "is.C": 2.0, "cg.C": 1.0, "alexnet": 1.0},
+        nthreads_choices=[1, 2],
+        work_scale_mean=0.25,
+        work_sigma=1.2,
+        think_fraction=0.97,
+        think_mean_s=90.0,
+        burst_mean_s=0.3,
+        max_live=4000,
+    ),
+    "steady-64": ScenarioSpec(
+        name="steady-64",
+        duration_s=120.0,
+        arrival="poisson",
+        rate_per_s=4.0,
+        app_mix={"ep.C": 1.0, "cg.C": 1.0, "is.C": 1.0, "lu.C": 1.0},
+        nthreads_choices=[1, 2, 4],
+        work_scale_mean=0.05,
+        work_sigma=0.8,
+        max_live=64,
+    ),
+    "diurnal-day": ScenarioSpec(
+        name="diurnal-day",
+        duration_s=3600.0,
+        arrival="poisson",
+        rate_per_s=2.0,
+        diurnal_amplitude=0.9,
+        diurnal_period_s=3600.0,
+        app_mix={"ep.C": 2.0, "is.C": 1.0, "vgg": 1.0},
+        nthreads_choices=[1, 2],
+        work_scale_mean=0.02,
+        work_sigma=1.0,
+        think_fraction=0.9,
+        think_mean_s=20.0,
+        burst_mean_s=0.5,
+    ),
+}

@@ -1,0 +1,97 @@
+"""Parallel sweep driver: seeds × scenarios across cores.
+
+Fans (spec, seed, engine) jobs over a ``ProcessPoolExecutor``, streams
+per-run results to a JSONL file as they complete, and returns a merged
+summary.  Workers re-derive everything from the serialized spec dict and
+the seed, so results are independent of worker scheduling and identical
+to running each job sequentially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterable, Sequence
+
+from repro.scenario.driver import run_trace
+from repro.scenario.spec import ScenarioSpec
+
+
+def sweep_job(job: dict) -> dict:
+    """Run one sweep job (top-level so it pickles to worker processes)."""
+    spec = ScenarioSpec.from_dict(job["spec"])
+    return run_trace(spec, seed=int(job["seed"]), engine=job["engine"])
+
+
+def run_sweep(
+    specs: Sequence[ScenarioSpec],
+    seeds: Iterable[int],
+    engine: str = "event",
+    jobs: int | None = None,
+    out_path: str | None = None,
+) -> dict:
+    """Run every (spec, seed) pair; returns ``{"runs": [...], "summary"}``.
+
+    ``jobs`` defaults to the machine's CPU count.  When ``out_path`` is
+    given, per-run JSONL lines are appended as runs complete, then the
+    file is rewritten in deterministic (spec, seed) order at the end —
+    so a crashed sweep still leaves partial results on disk.
+    """
+    seeds = list(seeds)
+    tasks = [
+        {"spec": spec.to_dict(), "seed": seed, "engine": engine}
+        for spec in specs
+        for seed in seeds
+    ]
+    jobs = jobs or os.cpu_count() or 1
+    results: list[dict] = []
+    stream = open(out_path, "w") if out_path else None
+    try:
+        if jobs <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                result = sweep_job(task)
+                results.append(result)
+                if stream is not None:
+                    stream.write(json.dumps(result, sort_keys=True) + "\n")
+                    stream.flush()
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = [pool.submit(sweep_job, task) for task in tasks]
+                for future in as_completed(futures):
+                    result = future.result()
+                    results.append(result)
+                    if stream is not None:
+                        stream.write(json.dumps(result, sort_keys=True) + "\n")
+                        stream.flush()
+    finally:
+        if stream is not None:
+            stream.close()
+    results.sort(key=lambda r: (r["spec"], r["seed"]))
+    if out_path:
+        with open(out_path, "w") as fh:
+            for result in results:
+                fh.write(json.dumps(result, sort_keys=True) + "\n")
+    return {"runs": results, "summary": summarize(results)}
+
+
+def summarize(results: list[dict]) -> dict:
+    """Aggregate per-spec means and wall-clock extremes across seeds."""
+    by_spec: dict[str, list[dict]] = {}
+    for result in results:
+        by_spec.setdefault(result["spec"], []).append(result)
+    summary = {}
+    for name, runs in sorted(by_spec.items()):
+        n = len(runs)
+        summary[name] = {
+            "runs": n,
+            "engine": runs[0]["engine"],
+            "fleet_seconds": sum(r["duration_s"] for r in runs),
+            "wall_s_total": sum(r["wall_s"] for r in runs),
+            "wall_s_max": max(r["wall_s"] for r in runs),
+            "mean_energy_j": sum(r["energy_j"] for r in runs) / n,
+            "mean_completed": sum(r["completed"] for r in runs) / n,
+            "mean_peak_live": sum(r["peak_live"] for r in runs) / n,
+            "rejected": sum(r["rejected"] for r in runs),
+        }
+    return summary

@@ -25,7 +25,7 @@ from repro.platform.power import STATIC_FRACTION, CorePowerModel, PlatformPowerM
 from repro.platform.sensors import EnergySensor
 from repro.platform.topology import Platform
 from repro.sim.perf import PerfCounters
-from repro.sim.process import SimProcess, SimThread, ThreadId
+from repro.sim.process import SimProcess, SimThread, ThreadId, _decay_for
 
 
 class ThreadSlot(NamedTuple):
@@ -64,7 +64,19 @@ class TickStats:
 
 
 class World:
-    """A complete simulated machine plus its workload."""
+    """A complete simulated machine plus its workload.
+
+    This is the fixed-tick reference engine: every tick costs one full
+    pass of scheduler/app-model/power work regardless of whether anything
+    is runnable.  :class:`repro.sim.event.EventWorld` subclasses it with
+    an event heap that leaps over idle stretches; both present the same
+    API (``spawn``/``kill``/``run_for``/callbacks) and are bit-compatible
+    on tick-equivalent scenarios.
+    """
+
+    #: True on event-driven subclasses; listeners that need to be woken at
+    #: a future sim time must call :meth:`request_wakeup` when this is set.
+    event_driven = False
 
     def __init__(
         self,
@@ -89,15 +101,21 @@ class World:
         self.governor = governor or PerformanceGovernor(platform)
         self.tick_s = tick_s
         self.time_s = 0.0
+        self.tick_index = 0
         self.power_model = PlatformPowerModel(platform)
         self.package_sensor = EnergySensor(
             "package", noise_std=sensor_noise, seed=seed
         )
         self.perf = PerfCounters(noise_std=perf_noise, seed=None if seed is None else seed + 1)
         self.processes: dict[int, SimProcess] = {}
+        self._running: dict[int, SimProcess] = {}
         self.on_process_start: list[Callable[[SimProcess], None]] = []
         self.on_process_exit: list[Callable[[SimProcess], None]] = []
         self.on_tick: list[Callable[["World"], None]] = []
+        # Event listeners fire once per *advance* — every tick here, once
+        # per leap boundary on the event engine.  Listeners with deadlines
+        # (epoch flushes, lease reaps, fault plans) must request wakeups.
+        self.on_event: list[Callable[["World"], None]] = []
         self.last_stats = TickStats()
         self.energy_by_type_j: dict[str, float] = {
             ct.name: 0.0 for ct in platform.core_types
@@ -107,10 +125,29 @@ class World:
         }
         self._next_pid = 1
         self._core_util: dict[int, float] = {}
+        # Per-tick runnable snapshot: one thread_demand call per live
+        # process per tick, shared by the scheduler, the share computation
+        # and the event engine's runnable probe.  Stamped by tick_index;
+        # spawn/kill invalidate it explicitly.
+        self._runnable_stamp = -1
+        self._runnable_pairs: list[tuple[SimProcess, SimThread]] = []
+        self._proc_demand: dict[int, float] = {}
+        # Processes not declared sleeping via block(): only these are
+        # probed for CPU demand each tick.  A caller who block()s a pid
+        # asserts its thread_demand is (and stays) zero until unblock().
+        self._awake: dict[int, SimProcess] = {}
+        # Threads whose PELT average is nonzero and therefore still needs
+        # per-tick decay.  Zero is an exact fixed point of the decay, so
+        # threads outside this set can be skipped bit-identically — the
+        # difference between O(live threads) and O(recently-active
+        # threads) per tick at fleet scale.
+        self._decaying: dict[ThreadId, SimThread] = {}
         self._core_power_models = {
             ct.name: CorePowerModel(ct) for ct in platform.core_types
         }
         self._hw_by_id = {t.thread_id: t for t in platform.hw_threads}
+        self._hw_ids = [t.thread_id for t in platform.hw_threads]
+        self._n_hw_threads = platform.n_hw_threads
         self._core_by_id = {c.core_id: c for c in platform.cores}
         self._idle_floor_w = platform.uncore_power_w + sum(
             c.core_type.idle_power_w for c in platform.cores
@@ -182,6 +219,9 @@ class World:
         )
         self._next_pid += 1
         self.processes[process.pid] = process
+        self._running[process.pid] = process
+        self._awake[process.pid] = process
+        self._runnable_stamp = -1
         if OBS.enabled:
             OBS.event(
                 "process.start", track=f"app:{model.name}",
@@ -207,6 +247,22 @@ class World:
         process.finished = True
         process.crashed = silent
         process.finish_time_s = self.time_s
+        self._running.pop(pid, None)
+        self._awake.pop(pid, None)
+        self._runnable_stamp = -1
+        for thread in process.threads:
+            self._decaying.pop(thread.tid, None)
+        # A kill can race a placement-signature hit: eas opts out of the
+        # cache, and for the other schedulers the signature normally moves
+        # because the runnable set shrank — but a process whose demand was
+        # already ~0 (a blocked daemon) leaves the signature unchanged, so
+        # the cached placement would be served without revalidation.  Drop
+        # the cache whenever the dead process appears in it.
+        if self._placement_sig is not None and any(
+            tid.pid == pid for tid in self._placement_cache
+        ):
+            self._placement_sig = None
+            self._placement_cache = {}
         if OBS.enabled:
             OBS.event(
                 "process.crash" if silent else "process.kill",
@@ -220,7 +276,77 @@ class World:
                 callback(process)
 
     def running_processes(self) -> list[SimProcess]:
-        return [p for p in self.processes.values() if not p.finished]
+        """Live processes, in spawn order.
+
+        Backed by a dict that only ever holds unfinished processes, so the
+        cost scales with the number of *live* apps, not every process ever
+        spawned — the difference between O(fleet) and O(history) at tens
+        of thousands of short-lived sessions.  The ``finished`` filter is
+        kept for robustness against code flipping the flag directly.
+        """
+        return [p for p in self._running.values() if not p.finished]
+
+    def runnable_pairs(self) -> list[tuple[SimProcess, SimThread]]:
+        """This tick's runnable (process, thread) pairs, computed once.
+
+        One pass over the live processes per boundary: each process's
+        ``thread_demand`` is evaluated exactly once and the per-process
+        values are kept for the share computation, so a tick costs one
+        demand call per live app instead of one per consumer.  Pairs come
+        out in spawn order, which is ascending-pid order (pids are never
+        reused).  The snapshot is stamped with ``tick_index``;
+        spawn/kill invalidate it immediately, and listener callbacks run
+        after the tick index advances, so demand changes they make are
+        picked up at the next boundary.
+        """
+        if self._runnable_stamp == self.tick_index:
+            return self._runnable_pairs
+        pairs: list[tuple[SimProcess, SimThread]] = []
+        proc_demand: dict[int, float] = {}
+        awake = self._awake
+        for pid in sorted(awake) if len(awake) > 1 else awake:
+            process = awake[pid]
+            if process.finished:
+                continue
+            d = process.model.thread_demand(process)
+            proc_demand[pid] = d
+            if d <= 1e-6:
+                continue
+            for thread in process.threads:
+                pairs.append((process, thread))
+        self._proc_demand = proc_demand
+        self._runnable_pairs = pairs
+        self._runnable_stamp = self.tick_index
+        return pairs
+
+    def block(self, pid: int) -> None:
+        """Declare a live process sleeping: skip its per-tick demand probe.
+
+        This is a pure scan-skip hint for fleet-scale drivers — the
+        caller asserts the process's ``thread_demand`` is zero and stays
+        zero until :meth:`unblock`.  Identical on both engines, so it
+        never affects tick/event parity.  Blocked processes still exist,
+        still decay their PELT averages, and are still killable.
+        """
+        if pid in self._running:
+            self._awake.pop(pid, None)
+            self._runnable_stamp = -1
+
+    def unblock(self, pid: int) -> None:
+        """Undo :meth:`block`: the process is probed for demand again."""
+        process = self._running.get(pid)
+        if process is not None:
+            self._awake[pid] = process
+            self._runnable_stamp = -1
+
+    def request_wakeup(self, at_s: float, kind: object = None) -> None:
+        """Ask to be advanced at sim time ``at_s`` (event engine only).
+
+        The fixed-tick engine visits every tick anyway, so this is a
+        no-op here; :class:`repro.sim.event.EventWorld` overrides it.
+        Callbacks on :attr:`on_event` must route all timed work through
+        wakeups so the same code runs unchanged on both engines.
+        """
 
     def _obs_hot(self) -> tuple:
         """Cached handles for the per-tick instruments (hot path)."""
@@ -242,8 +368,8 @@ class World:
         obs_on = OBS.enabled
         t0_wall = OBS.walltime() if obs_on else 0.0
         dt = self.tick_s
-        running = self.running_processes()
-        placement = self._placement_for(running)
+        self.runnable_pairs()  # refresh the per-tick demand snapshot
+        placement = self._placement_for()
 
         threads_on_hw: dict[int, list[ThreadId]] = {}
         for tid, hw_id in placement.items():
@@ -251,12 +377,13 @@ class World:
 
         # Demand-weighted time-sharing: a thread that only wants a sliver
         # of CPU (e.g. the RM daemon) leaves the rest of the slice to its
-        # queue mates, like a real proportional-share scheduler.
+        # queue mates, like a real proportional-share scheduler.  Only
+        # placed threads can receive a share, so the dict covers exactly
+        # those; the values come from the runnable snapshot above.
+        proc_demand = self._proc_demand
         demand: dict[ThreadId, float] = {}
-        for process in running:
-            d = process.model.thread_demand(process)
-            for thread in process.active_threads:
-                demand[thread.tid] = d
+        for tid in placement:
+            demand[tid] = proc_demand[tid.pid]
         shares: dict[ThreadId, float] = {}
         for hw_id, tids in threads_on_hw.items():
             total = sum(demand[tid] for tid in tids)
@@ -275,10 +402,18 @@ class World:
         freqs = self.governor.select_all(self._core_util)
 
         # Build slots per process and evaluate the application models.
+        # Only processes with at least one placed thread can make
+        # progress (a slotless process fell through to ``continue``
+        # before), so the loop visits exactly those, in the ascending-pid
+        # order the full scan used to visit them in.
         busy_fraction: dict[int, float] = {}
         app_busy_on_core: dict[int, dict[int, float]] = {}
         stats = TickStats(time_s=self.time_s)
-        for process in running:
+        decaying = self._decaying
+        just_finished: list[SimProcess] = []
+        placed_pids = {tid.pid for tid in placement}
+        for pid in sorted(placed_pids):
+            process = self.processes[pid]
             slots = []
             slot_threads: list[SimThread] = []
             for thread in process.active_threads:
@@ -318,26 +453,54 @@ class World:
                     app_busy_on_core[slot.core_id].get(process.pid, 0.0) + used
                 )
                 thread.update_utilization(activity * slot.share, dt)
+                if thread.utilization != 0.0:  # harplint: disable=HL003 -- exact fixed point, not a tolerance check
+                    decaying[thread.tid] = thread
+                else:
+                    decaying.pop(thread.tid, None)
                 slot_time = used * dt
                 cpu_time += slot_time
                 process.cpu_time_by_type[slot.core_type] = (
                     process.cpu_time_by_type.get(slot.core_type, 0.0) + slot_time
                 )
             self.perf.accumulate(process.pid, perf.ips * frac, dt, cpu_time)
+            if process.finished:
+                just_finished.append(process)
+                # A finished process's active_threads is empty: its PELT
+                # averages freeze at their current values, exactly as the
+                # full scan left them.
+                for thread in process.threads:
+                    decaying.pop(thread.tid, None)
 
-        # Idle threads decay their PELT utilization.
-        placed = set(placement)
-        for process in running:
-            for thread in process.active_threads:
-                if thread.tid not in placed:
-                    thread.update_utilization(0.0, dt)
+        # Idle threads decay their PELT utilization.  Only threads whose
+        # average is still nonzero need the update — zero is an exact
+        # fixed point, and with zero activity the full update
+        # ``u*decay + 0.0*(1-decay)`` is bitwise ``u*decay`` — so the
+        # loop is one multiply per recently-active thread.  Exit events
+        # (finish above, kill) prune their threads' entries; a thread
+        # detached by ``set_nthreads`` keeps decaying its orphaned
+        # ``SimThread`` object, which no observable state references.
+        if decaying:
+            decay = _decay_for(dt)
+            drained: list[ThreadId] | None = None
+            for tid, thread in decaying.items():
+                if tid in placement:
+                    continue  # updated in the slot loop above
+                u = thread.utilization * decay
+                thread.utilization = u
+                if u == 0.0:  # harplint: disable=HL003 -- underflow to the exact fixed point
+                    if drained is None:
+                        drained = []
+                    drained.append(tid)
+            if drained:
+                for tid in drained:
+                    del decaying[tid]
 
         # Power integration.  Package-level superlinearity: VRM losses and
         # current-dependent leakage make per-core active power rise
         # slightly with total load, so package power is not a purely
         # linear function of the allocation.
         load_ratio = (
-            sum(busy_fraction.values()) / self.platform.n_hw_threads
+            sum(busy_fraction.values()) / self._n_hw_threads
             if busy_fraction
             else 0.0
         )
@@ -355,8 +518,11 @@ class World:
         self.last_stats = stats
 
         # Completion notifications happen after accounting for the tick.
-        just_finished = [p for p in running if p.finished]
         self.time_s += dt
+        self.tick_index += 1
+        for process in just_finished:
+            self._running.pop(process.pid, None)
+            self._awake.pop(process.pid, None)
         for process in just_finished:
             if obs_on:
                 OBS.event(
@@ -369,16 +535,29 @@ class World:
                 callback(process)
         for callback in self.on_tick:
             callback(self)
+        for callback in self.on_event:
+            callback(self)
         if obs_on:
             handles = self._obs_hot()
             handles[1].inc()
             handles[2].observe(OBS.walltime() - t0_wall)
         return stats
 
+    def ticks_in(self, seconds: float) -> int:
+        """Number of ticks covering ``seconds`` of sim time.
+
+        Horizons are computed in integer tick counts, never by comparing
+        the float-accumulated clock against a float target: ``time_s``
+        drifts by ~3e-8 s per simulated hour (repeated ``+= 0.01``), which
+        is enough to gain or lose a tick at long horizons.
+        """
+        if seconds <= 0:
+            return 0
+        return max(1, int(np.ceil(seconds / self.tick_s - 1e-9)))
+
     def run_for(self, seconds: float) -> None:
         """Advance by a fixed duration."""
-        target = self.time_s + seconds
-        while self.time_s < target - 1e-12:
+        for _ in range(self.ticks_in(seconds)):
             self.step()
 
     def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
@@ -387,8 +566,9 @@ class World:
         The makespan is the latest finish time across processes, measured
         from time zero of the world.
         """
+        max_ticks = int(max_seconds / self.tick_s + 1e-9)
         while any(not p.daemon for p in self.running_processes()):
-            if self.time_s > max_seconds:
+            if self.tick_index > max_ticks:
                 raise RuntimeError(
                     f"simulation exceeded {max_seconds}s without finishing"
                 )
@@ -402,7 +582,7 @@ class World:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _placement_for(self, running: list[SimProcess]) -> dict[ThreadId, int]:
+    def _placement_for(self) -> dict[ThreadId, int]:
         """This tick's placement, reusing the last one when nothing changed.
 
         In vectorized mode, schedulers exposing a placement signature (a
@@ -411,7 +591,7 @@ class World:
         the HARP allocation actually moved.  Cached placements were
         validated when first computed.
         """
-        if not running:
+        if not self._running:
             return {}
         if self.vectorized:
             sig = self.scheduler.placement_signature(self)

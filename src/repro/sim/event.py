@@ -1,0 +1,344 @@
+"""The event-heap execution engine.
+
+:class:`EventWorld` subclasses the fixed-tick :class:`~repro.sim.engine.World`
+with a heap of typed future events (thread wakeups, process arrivals,
+completions, quantum expiries, RT periods, monitor epochs, scheduled
+reallocations, fault injections).  Whenever nothing is runnable and no
+listener needs per-tick callbacks, the engine *leaps* directly to the next
+event's tick, integrating idle power analytically over the whole interval
+instead of stepping through it — idle sim time costs (almost) zero CPU.
+
+Bit-parity contract
+-------------------
+On tick-equivalent scenarios the event engine reproduces the tick engine
+**bit for bit**: same ``time_s`` (the leap replays the per-tick float
+additions), same sensor energy (noise draws are batched through
+``default_rng``, which consumes the bitstream identically to scalar
+draws), same PELT trajectories (per-tick decay multiplies are replayed),
+same per-type energy accumulators (same accumulation order per engine
+mode), and identical process completion order.  The parity suite in
+``tests/test_eventsim.py`` asserts this across all four schedulers.
+
+Listeners attach to ``world.on_event`` (fired at every advance boundary —
+every tick while stepping, once per leap) and MUST route timed work
+through :meth:`World.request_wakeup`; a wakeup guarantees the engine
+visits that tick.  Wakeups are scheduled conservatively (up to one tick
+early against the drifted cumulative clock) — a listener whose deadline
+has not arrived yet simply re-requests and is woken on the next tick,
+which converges on exactly the tick the tick engine would have fired.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.obs import OBS
+from repro.platform.dvfs import Governor
+from repro.platform.topology import Platform
+from repro.sim.engine import TickStats, World
+from repro.sim.process import _PELT_HALFLIFE_S
+
+
+class EventKind(Enum):
+    """Taxonomy of heap events (labels for tracing and debugging)."""
+
+    TIMER = "timer"            # generic requested wakeup
+    WAKEUP = "wakeup"          # a thread/session becomes runnable
+    BLOCK = "block"            # a session stops consuming CPU
+    SPAWN = "spawn"            # process arrival
+    COMPLETION = "completion"  # process expected to finish its work
+    QUANTUM = "quantum"        # scheduler quantum expiry
+    RT_PERIOD = "rt_period"    # real-time period boundary
+    MONITOR = "monitor"        # monitor / sample epoch
+    REALLOC = "realloc"        # scheduled reallocation / epoch flush
+    FAULT = "fault"            # fault-plan injection point
+
+
+class EventWorld(World):
+    """Event-driven world: identical API, idle time leaps for free."""
+
+    event_driven = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._heap: list[tuple[int, int, EventKind, Callable | None]] = []
+        self._seq = itertools.count()
+        self._wakeup_ticks: set[int] = set()
+        # Idle-tick package power per integration mode.  These replicate
+        # the exact accumulation order of the corresponding per-tick
+        # integration path, so leaps stay bit-identical:
+        #   vectorized: uncore + numpy pairwise sum over the core array
+        #   reference:  uncore, then += idle_w per core in core order
+        self._idle_pkg_vec = self.platform.uncore_power_w + float(
+            self._core_idle_w.sum()
+        )
+        pkg = self.platform.uncore_power_w
+        for core in self.platform.cores:
+            pkg += core.core_type.idle_power_w
+        self._idle_pkg_ref = pkg
+        # Per-tick per-type idle energy increments, again per mode.
+        idle_by_type = np.bincount(
+            self._core_type_idx,
+            weights=self._core_idle_w,
+            minlength=len(self._type_names),
+        )
+        self._idle_tick_energy_vec = [
+            (name, float(e) * self.tick_s)
+            for name, e in zip(self._type_names, idle_by_type)
+        ]
+        self._idle_tick_energy_ref = [
+            (core.core_type.name, core.core_type.idle_power_w * self.tick_s)
+            for core in self.platform.cores
+        ]
+
+    # -- event heap --------------------------------------------------------------
+
+    def _tick_for(self, at_s: float) -> int:
+        """Tick index at which a wakeup for sim time ``at_s`` fires.
+
+        Conservatively early: the cumulative float clock drifts ~3e-8 s
+        per simulated hour off the nominal ``tick * tick_s`` grid, so the
+        wakeup lands up to one tick before the deadline test passes and
+        the listener re-requests.  Never at or before the current tick —
+        a re-request from a boundary callback always lands strictly in
+        the future, which is what makes the recheck loop converge.
+        """
+        return max(self.tick_index + 1, math.ceil((at_s - 1e-6) / self.tick_s))
+
+    def request_wakeup(self, at_s: float, kind: object = EventKind.TIMER) -> None:
+        """Guarantee the engine visits the tick covering sim time ``at_s``."""
+        tick = self._tick_for(at_s)
+        if tick in self._wakeup_ticks:
+            return
+        self._wakeup_ticks.add(tick)
+        kind = kind if isinstance(kind, EventKind) else EventKind.TIMER
+        heapq.heappush(self._heap, (tick, next(self._seq), kind, None))
+
+    def schedule(
+        self,
+        at_s: float,
+        callback: Callable[["EventWorld"], None],
+        kind: EventKind = EventKind.TIMER,
+    ) -> int:
+        """Run ``callback(world)`` at the boundary covering ``at_s``.
+
+        Callbacks fire after ``on_event`` listeners, in (time, insertion)
+        order; returns the tick index they are scheduled for.
+        """
+        tick = self._tick_for(at_s)
+        heapq.heappush(self._heap, (tick, next(self._seq), kind, callback))
+        return tick
+
+    def next_event_tick(self) -> int | None:
+        """Tick of the earliest pending event, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def _drain_due(self) -> None:
+        """Pop every event at or before the current tick; run callbacks."""
+        while self._heap and self._heap[0][0] <= self.tick_index:
+            tick, _, _, callback = heapq.heappop(self._heap)
+            if callback is None:
+                self._wakeup_ticks.discard(tick)
+            else:
+                callback(self)
+
+    # -- advancing ---------------------------------------------------------------
+
+    def _has_runnable(self) -> bool:
+        # Fills the world's per-tick runnable snapshot, which the step
+        # that follows (if any) reuses — probing costs nothing extra.
+        return bool(self.runnable_pairs())
+
+    def _advance_one(self, limit_tick: int) -> None:
+        """Advance to the next boundary, never past ``limit_tick``.
+
+        Steps normally whenever per-tick work can happen (something is
+        runnable, or a legacy ``on_tick`` listener is attached); otherwise
+        leaps to the earlier of the next heap event and the limit.
+        """
+        if self.on_tick or self._has_runnable():
+            self.step()
+            self._drain_due()
+            return
+        next_tick = self._heap[0][0] if self._heap else None
+        leap_to = limit_tick if next_tick is None else min(next_tick, limit_tick)
+        n = leap_to - self.tick_index
+        if n <= 1:
+            self.step()
+            self._drain_due()
+            return
+        self._leap(n)
+        for callback in self.on_event:
+            callback(self)
+        self._drain_due()
+
+    def run_for(self, seconds: float) -> None:
+        """Advance by a fixed duration (event-driven)."""
+        target = self.tick_index + self.ticks_in(seconds)
+        while self.tick_index < target:
+            self._advance_one(target)
+
+    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
+        """Run until every process finished; returns the makespan."""
+        max_ticks = int(max_seconds / self.tick_s + 1e-9)
+        while any(not p.daemon for p in self.running_processes()):
+            if self.tick_index > max_ticks:
+                raise RuntimeError(
+                    f"simulation exceeded {max_seconds}s without finishing"
+                )
+            self._advance_one(max_ticks + 1)
+        finish_times = [
+            p.finish_time_s
+            for p in self.processes.values()
+            if p.finish_time_s is not None
+        ]
+        return max(finish_times) if finish_times else self.time_s
+
+    # -- the leap ----------------------------------------------------------------
+
+    def _leap(self, n: int) -> None:
+        """Replay ``n`` fully idle ticks in one analytic jump.
+
+        Preconditions (enforced by :meth:`_advance_one`): no runnable
+        thread and no ``on_tick`` listener.  Everything a tick would have
+        mutated is replayed bit-identically: the cumulative clock, the
+        package sensor (batched noise draws), per-type energy
+        accumulators in each mode's accumulation order, PELT decay of
+        blocked threads, core-utilization state, the placement-signature
+        cache, and the obs tick/placement counters.
+        """
+        dt = self.tick_s
+        obs_on = OBS.enabled
+        t0_wall = OBS.walltime() if obs_on else 0.0
+
+        # Placement-cache bookkeeping: with live-but-blocked processes the
+        # tick engine still consults the signature each tick (an empty
+        # runnable set hashes to an empty signature); with no processes it
+        # short-circuits before touching the cache.
+        hits = misses = 0
+        if self._running and self.vectorized:
+            sig = self.scheduler.placement_signature(self)
+            if sig is None:
+                misses = n
+            elif sig == self._placement_sig:
+                hits = n
+            else:
+                self._placement_sig = sig
+                self._placement_cache = {}
+                misses, hits = 1, n - 1
+
+        # PELT decay for every blocked thread still holding a nonzero
+        # average (the world's ``_decaying`` set — zero is an exact fixed
+        # point, so the rest can be skipped bit-identically): u *= decay,
+        # n times, with numpy broadcasting across threads (elementwise
+        # IEEE multiply is bit-identical to the scalar loop).  Once every
+        # tracked thread has decayed to exactly 0.0 the remaining
+        # iterations are no-ops and the loop exits early.
+        decaying = self._decaying
+        if decaying:
+            tids = list(decaying)
+            utils = np.array(
+                [decaying[tid].utilization for tid in tids], dtype=float
+            )
+            decay = 0.5 ** (dt / _PELT_HALFLIFE_S)
+            remaining = n
+            while remaining > 0:
+                chunk = min(remaining, 256)
+                for _ in range(chunk):
+                    utils *= decay
+                remaining -= chunk
+                if not utils.any():
+                    break
+            for tid, u in zip(tids, utils.tolist()):
+                decaying[tid].utilization = u
+                if u == 0.0:  # harplint: disable=HL003 -- underflow to the exact fixed point
+                    del decaying[tid]
+
+        # Idle power: constant across the leap and freq-independent (zero
+        # busy fractions short-circuit the DVFS scale), so the package
+        # sensor integrates n equal deltas and the per-type accumulators
+        # replay the per-tick adds in each mode's order.
+        if self.vectorized:
+            package_power = self._idle_pkg_vec
+            tick_energy = self._idle_tick_energy_vec
+        else:
+            package_power = self._idle_pkg_ref
+            tick_energy = self._idle_tick_energy_ref
+        acc = self.energy_by_type_j
+        for _ in range(n):
+            for name, energy in tick_energy:
+                acc[name] += energy
+        self.package_sensor.accumulate_constant(package_power, dt, n)
+        # busy_time accumulators gain exactly +0.0 per idle tick — a
+        # bitwise no-op — so they are left untouched.
+        self._core_util = {core_id: 0.0 for core_id in self._core_ids}
+
+        # The cumulative clock replays every per-tick addition (n float
+        # adds), capturing the start time of the final tick for stats.
+        t = self.time_s
+        for _ in range(n - 1):
+            t += dt
+        stats = TickStats(time_s=t)
+        stats.package_power_w = package_power
+        for name in self._type_names:
+            stats.busy_time_by_type[name] = 0.0
+        for name, energy in tick_energy:
+            stats.energy_by_type_j[name] = (
+                stats.energy_by_type_j.get(name, 0.0) + energy
+            )
+        self.last_stats = stats
+        self.time_s = t + dt
+        self.tick_index += n
+
+        if obs_on:
+            handles = self._obs_hot()
+            handles[1].inc(n)
+            handles[2].observe(OBS.walltime() - t0_wall)
+            if hits:
+                handles[3].inc(hits)
+            if misses:
+                handles[4].inc(misses)
+            OBS.counter("sim.leaps").inc()
+            OBS.counter("sim.leap_ticks").inc(n)
+
+
+def make_world(
+    platform: Platform,
+    scheduler,
+    engine: str = "tick",
+    governor: Governor | None = None,
+    tick_s: float = 0.01,
+    seed: int | None = None,
+    sensor_noise: float = 0.01,
+    perf_noise: float = 0.02,
+    vectorized: bool = True,
+) -> World:
+    """Build a world on the selected engine.
+
+    ``engine="tick"`` is the fixed-tick reference implementation;
+    ``engine="event"`` is the event-heap engine, bit-compatible on
+    tick-equivalent scenarios and orders of magnitude faster when the
+    machine has idle stretches.
+    """
+    if engine == "tick":
+        cls: type[World] = World
+    elif engine == "event":
+        cls = EventWorld
+    else:
+        raise ValueError(f"unknown engine {engine!r} (want 'tick' or 'event')")
+    return cls(
+        platform,
+        scheduler,
+        governor=governor,
+        tick_s=tick_s,
+        seed=seed,
+        sensor_noise=sensor_noise,
+        perf_noise=perf_noise,
+        vectorized=vectorized,
+    )

@@ -20,6 +20,19 @@ class ThreadId(NamedTuple):
 # mirroring the kernel's per-entity load tracking that EAS consumes.
 _PELT_HALFLIFE_S = 0.032
 
+# The decay factor is a pure function of the step length; computing the
+# pow() once per distinct dt instead of once per call matters when fleets
+# update thousands of threads per tick.
+_decay_cache: dict[float, float] = {}
+
+
+def _decay_for(dt_s: float) -> float:
+    """Per-tick PELT decay factor for a step of ``dt_s`` seconds."""
+    decay = _decay_cache.get(dt_s)
+    if decay is None:
+        decay = _decay_cache[dt_s] = 0.5 ** (dt_s / _PELT_HALFLIFE_S)
+    return decay
+
 
 @dataclass
 class SimThread:
@@ -31,7 +44,7 @@ class SimThread:
 
     def update_utilization(self, activity: float, dt_s: float) -> None:
         """Fold this tick's busy fraction into the PELT-like average."""
-        decay = 0.5 ** (dt_s / _PELT_HALFLIFE_S)
+        decay = _decay_for(dt_s)
         self.utilization = self.utilization * decay + activity * (1 - decay)
 
 

@@ -43,19 +43,16 @@ class Scheduler(ABC):
 
         Threads with (near-)zero CPU demand are sleeping — a blocked
         daemon does not sit on a run queue — and are skipped entirely.
+        Pairs come in ascending-pid order (spawn order; pids are never
+        reused) from the world's per-tick snapshot, so calling this
+        several times in one tick costs one pass over the live processes.
         """
-        pairs = []
-        for process in sorted(world.running_processes(), key=lambda p: p.pid):
-            if process.model.thread_demand(process) <= 1e-6:
-                continue
-            for thread in process.active_threads:
-                pairs.append((process, thread))
-        return pairs
+        return world.runnable_pairs()
 
     @staticmethod
     def allowed_hw_threads(world: "World", process: SimProcess) -> list[int]:
         """Hardware threads the process may run on, in id order."""
-        all_ids = [t.thread_id for t in world.platform.hw_threads]
+        all_ids = world._hw_ids
         if process.affinity is None:
             return all_ids
         return [i for i in all_ids if i in process.affinity]

@@ -32,6 +32,11 @@ class CfsScheduler(Scheduler):
 
     name = "cfs"
 
+    def __init__(self) -> None:
+        self._platform = None
+        self._capacity: dict[int, float] = {}
+        self._core_of: dict[int, int] = {}
+
     def placement_signature(self, world: "World") -> tuple:
         # The placement is a pure function of the runnable thread set (in
         # order) and each process's affinity mask.
@@ -41,16 +46,23 @@ class CfsScheduler(Scheduler):
         )
 
     def place(self, world: "World") -> dict[ThreadId, int]:
-        hw_threads = world.platform.hw_threads
-        capacity = {
-            t.thread_id: t.core_type.base_speed for t in hw_threads
-        }
-        core_of = {t.thread_id: t.core_id for t in hw_threads}
-        siblings: dict[int, list[int]] = {}
-        for t in hw_threads:
-            siblings.setdefault(t.core_id, []).append(t.thread_id)
+        # The topology maps are static per platform; rebuild only when
+        # the scheduler meets a different world.
+        if self._platform is not world.platform:
+            hw_threads = world.platform.hw_threads
+            self._capacity = {
+                t.thread_id: t.core_type.base_speed for t in hw_threads
+            }
+            self._core_of = {t.thread_id: t.core_id for t in hw_threads}
+            self._platform = world.platform
+        capacity = self._capacity
+        core_of = self._core_of
 
-        load: dict[int, int] = {t.thread_id: 0 for t in hw_threads}
+        load: dict[int, int] = dict.fromkeys(capacity, 0)
+        # Number of busy hw threads per core, maintained incrementally as
+        # threads are placed — the same value the original per-candidate
+        # sibling scan computed, at O(1) per lookup.
+        core_busy: dict[int, int] = dict.fromkeys(core_of.values(), 0)
         placement: dict[ThreadId, int] = {}
         for process, thread in self.runnable(world):
             allowed = self.allowed_hw_threads(world, process)
@@ -58,17 +70,16 @@ class CfsScheduler(Scheduler):
                 continue
 
             def score(hw_id: int) -> tuple:
-                core_busy = sum(
-                    1 for s in siblings[core_of[hw_id]] if load[s] > 0
-                )
                 return (
-                    load[hw_id],          # idle hw threads first
-                    core_busy,            # fully idle cores before SMT siblings
-                    -capacity[hw_id],     # higher capacity first
-                    hw_id,                # deterministic tie-break
+                    load[hw_id],            # idle hw threads first
+                    core_busy[core_of[hw_id]],  # idle cores before SMT siblings
+                    -capacity[hw_id],       # higher capacity first
+                    hw_id,                  # deterministic tie-break
                 )
 
             best = min(allowed, key=score)
             placement[thread.tid] = best
+            if load[best] == 0:
+                core_busy[core_of[best]] += 1
             load[best] += 1
         return placement

@@ -1,0 +1,358 @@
+"""Tick-vs-event engine bit parity and event-heap behaviour.
+
+The event engine (:class:`repro.sim.event.EventWorld`) claims *bit*
+compatibility with the fixed-tick reference engine on tick-equivalent
+scenarios: identical sensor energy, identical per-type accumulators,
+identical PELT trajectories, identical completion order, identical
+clock.  This module holds that claim to ``==`` (no tolerances) across a
+seeded 200-instance property suite covering all four schedulers, both
+platforms, both integration modes, managed (HARP) runs, fault-plan
+replay, and obs-on/off runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.scenarios import make_platform, resolve_model
+from repro.core.manager import HarpManager, ManagerConfig
+from repro.fault import Fault, FaultKind, FaultPlan, SimFaultInjector
+from repro.obs import OBS
+from repro.sim import (
+    CfsScheduler,
+    EasScheduler,
+    EventKind,
+    EventWorld,
+    ItdScheduler,
+    PinnedScheduler,
+    World,
+    make_world,
+)
+
+SCHEDULERS = {
+    "cfs": CfsScheduler,
+    "eas": EasScheduler,
+    "itd": ItdScheduler,
+    "pinned": PinnedScheduler,
+}
+
+_APPS = ["ep.C", "is.C", "cg.C"]
+
+
+def _fingerprint(world: World, exit_order: list[int]) -> dict:
+    """Everything the parity contract covers, exact values."""
+    return {
+        "time_s": world.time_s,
+        "tick_index": world.tick_index,
+        "energy_j": world.total_energy_j(),
+        "energy_by_type": dict(world.energy_by_type_j),
+        "busy_by_type": dict(world.busy_time_by_type_s),
+        "last_power": world.last_stats.package_power_w,
+        "last_time": world.last_stats.time_s,
+        "exit_order": tuple(exit_order),
+        "finish": sorted(
+            (p.pid, p.finish_time_s, p.work_done, p.energy_true_j)
+            for p in world.processes.values()
+        ),
+        "pelt": sorted(
+            (t.tid, t.utilization)
+            for p in world.processes.values()
+            for t in p.threads
+        ),
+        "cpu": sorted(
+            (p.pid, tuple(sorted(p.cpu_time_by_type.items())))
+            for p in world.processes.values()
+        ),
+    }
+
+
+def _build_world(seed: int, engine: str, vectorized: bool = True) -> tuple:
+    sched_name = ("cfs", "eas", "itd", "pinned")[seed % 4]
+    platform = make_platform("intel" if seed % 2 == 0 else "odroid")
+    world = make_world(
+        platform,
+        SCHEDULERS[sched_name](),
+        engine=engine,
+        seed=seed,
+        vectorized=vectorized,
+    )
+    exit_order: list[int] = []
+    world.on_process_exit.append(lambda p: exit_order.append(p.pid))
+    return world, exit_order
+
+
+def _spawn_mix(world: World, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    for i in range(1 + seed % 3):
+        model = replace(resolve_model(_APPS[(seed + i) % len(_APPS)]))
+        # Small work units so some processes finish mid-run (exercising
+        # completion ticks and the idle leap path after the last exit).
+        model.total_work = float(rng.uniform(0.3, 2.5))
+        world.spawn(model, nthreads=int(rng.integers(1, 5)))
+
+
+def _run_instance(seed: int, engine: str, vectorized: bool = True) -> dict:
+    world, exit_order = _build_world(seed, engine, vectorized)
+    _spawn_mix(world, seed)
+    world.run_for(0.8 + (seed % 5) * 0.3)
+    return _fingerprint(world, exit_order)
+
+
+class TestParityPropertySuite:
+    """Seeded tick-vs-event equivalence, 200 instances."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_bit_parity(self, seed: int) -> None:
+        tick = _run_instance(seed, engine="tick")
+        event = _run_instance(seed, engine="event")
+        assert tick == event
+
+    @pytest.mark.parametrize("seed", [1, 6, 11, 16])
+    def test_bit_parity_reference_mode(self, seed: int) -> None:
+        tick = _run_instance(seed, engine="tick", vectorized=False)
+        event = _run_instance(seed, engine="event", vectorized=False)
+        assert tick == event
+
+    def test_make_world_dispatch(self) -> None:
+        platform = make_platform("intel")
+        assert not isinstance(
+            make_world(platform, CfsScheduler(), engine="tick"), EventWorld
+        )
+        assert isinstance(
+            make_world(platform, CfsScheduler(), engine="event"), EventWorld
+        )
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_world(platform, CfsScheduler(), engine="warp")
+
+
+class TestManagedParity:
+    """The HARP manager's epoch/lease machinery rides wakeups on the
+    event engine and must reproduce the tick engine exactly."""
+
+    def _run(self, engine: str) -> tuple[dict, int]:
+        world, exit_order = _build_world(4, engine)  # cfs / intel
+        manager = HarpManager(
+            world, config=ManagerConfig(epoch_window_s=0.02)
+        )
+        for i, app in enumerate(["ep.C", "is.C"]):
+            model = replace(resolve_model(app))
+            model.total_work = 1.0 + i
+            world.spawn(model, nthreads=2, managed=True)
+        world.run_for(6.0)
+        fp = _fingerprint(world, exit_order)
+        epochs = manager.allocation_epochs
+        manager.shutdown()
+        return fp, epochs
+
+    def test_managed_bit_parity(self) -> None:
+        tick, tick_epochs = self._run("tick")
+        event, event_epochs = self._run("event")
+        assert tick == event
+        assert tick_epochs == event_epochs
+        assert tick_epochs > 0
+
+
+class TestFaultReplayParity:
+    """A fault plan fires on the same ticks under both engines."""
+
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            (FaultKind.APP_CRASH, {}),
+            (FaultKind.SOLVER_FAILURE, {"count": 1}),
+        ],
+    )
+    def test_fault_plan_replay(self, kind: FaultKind, params: dict) -> None:
+        results = []
+        for engine in ("tick", "event"):
+            world, exit_order = _build_world(4, engine)
+            manager = HarpManager(
+                world, config=ManagerConfig(epoch_window_s=0.02)
+            )
+            plan = FaultPlan(
+                [Fault(at_s=0.5, kind=kind, target="ep.C", params=params)]
+            )
+            injector = SimFaultInjector(world, manager, plan)
+            for app in ("ep.C", "is.C"):
+                model = replace(resolve_model(app))
+                model.total_work = 1.5
+                world.spawn(model, nthreads=2, managed=True)
+            world.run_for(4.0)
+            assert injector.done()
+            fp = _fingerprint(world, exit_order)
+            fp["fault_log"] = [
+                (rec["at_s"], rec["kind"], rec["applied"])
+                for rec in injector.log
+            ]
+            manager.shutdown()
+            results.append(fp)
+        assert results[0] == results[1]
+
+
+class TestObsBitIdentity:
+    """Telemetry must be a pure observer: enabling it cannot move a
+    single bit of simulation state, on either engine."""
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_obs_on_off(self, engine: str) -> None:
+        baseline = _run_instance(3, engine)
+        OBS.reset()
+        OBS.enable()
+        try:
+            observed = _run_instance(3, engine)
+        finally:
+            OBS.disable()
+            OBS.reset()
+        assert observed == baseline
+
+    def test_obs_handles_survive_registry_reset(self) -> None:
+        world, _ = _build_world(0, "tick")
+        _spawn_mix(world, 0)
+        OBS.reset()
+        OBS.enable()
+        try:
+            world.step()
+            # A registry reset bumps the generation; the engine's cached
+            # per-tick instrument handles must be re-resolved, not used
+            # stale.
+            OBS.reset()
+            world.step()
+            assert OBS.counter("sim.ticks").value == 1.0
+        finally:
+            OBS.disable()
+            OBS.reset()
+
+
+class TestIntegerTickHorizons:
+    """run_for horizons are integer tick counts: no float-clock drift."""
+
+    def test_chunked_equals_single(self) -> None:
+        platform = make_platform("intel")
+        chunked = make_world(platform, CfsScheduler(), engine="tick", seed=0)
+        for _ in range(300):
+            chunked.run_for(0.03)
+        single = make_world(platform, CfsScheduler(), engine="tick", seed=0)
+        single.run_for(9.0)
+        assert chunked.tick_index == single.tick_index == 900
+
+    def test_ticks_in_rounding(self) -> None:
+        world, _ = _build_world(0, "tick")
+        assert world.ticks_in(0.0) == 0
+        assert world.ticks_in(-1.0) == 0
+        assert world.ticks_in(1e-9) == 1
+        assert world.ticks_in(0.07) == 7  # 0.07/0.01 = 6.999... in floats
+        assert world.ticks_in(3600.0) == 360_000
+
+    def test_long_horizon_exact_tick_count(self) -> None:
+        # Empty event world: a 10-simulated-hour horizon leaps instantly
+        # and must land on the exact tick, despite the cumulative float
+        # clock drifting off the nominal grid.
+        world, _ = _build_world(0, "event")
+        world.run_for(36_000.0)
+        assert world.tick_index == 3_600_000
+        assert world.time_s != 36_000.0  # the drift is real...
+        world.run_for(0.07)  # ...and horizons are unaffected by it
+        assert world.tick_index == 3_600_007
+
+
+class TestEventHeap:
+    def test_leap_to_wakeup_boundary(self) -> None:
+        world, _ = _build_world(0, "event")
+        boundaries: list[int] = []
+        world.on_event.append(lambda w: boundaries.append(w.tick_index))
+        world.request_wakeup(0.5, EventKind.TIMER)
+        world.run_for(1.0)
+        assert world.tick_index == 100
+        # One leap to the wakeup tick, one to the horizon.
+        assert boundaries == [50, 100]
+
+    def test_request_wakeup_deduplicates(self) -> None:
+        world, _ = _build_world(0, "event")
+        for _ in range(5):
+            world.request_wakeup(0.25, EventKind.MONITOR)
+        assert len(world._heap) == 1
+
+    def test_schedule_callback_fires_once(self) -> None:
+        world, _ = _build_world(0, "event")
+        fired: list[float] = []
+        world.schedule(0.3, lambda w: fired.append(w.time_s))
+        world.run_for(1.0)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(0.3, abs=1e-6)
+
+    def test_wakeup_never_in_past(self) -> None:
+        world, _ = _build_world(0, "event")
+        world.run_for(0.5)
+        tick = world._tick_for(0.1)  # long past
+        assert tick == world.tick_index + 1
+
+
+class TestRunnableScan:
+    """block()/unblock(): the fleet driver's scan-skip contract."""
+
+    def test_block_removes_from_runnable_scan(self) -> None:
+        world, _ = _build_world(0, "tick")
+        model = replace(resolve_model("ep.C"))
+        model.total_work = 50.0
+        process = world.spawn(model, nthreads=2)
+        assert len(world.runnable_pairs()) == 2
+        world.step()
+        world.block(process.pid)
+        assert world.runnable_pairs() == []
+        world.step()  # blocked: no progress
+        work_blocked = process.work_done
+        world.unblock(process.pid)
+        assert len(world.runnable_pairs()) == 2
+        world.step()
+        assert process.work_done > work_blocked
+
+    def test_kill_cleans_blocked_process(self) -> None:
+        world, _ = _build_world(0, "tick")
+        model = replace(resolve_model("ep.C"))
+        model.total_work = 50.0
+        process = world.spawn(model, nthreads=1)
+        world.block(process.pid)
+        world.kill(process.pid)
+        world.unblock(process.pid)  # dead: must stay out of the scan
+        assert world.runnable_pairs() == []
+
+
+class TestPlacementCacheInvalidation:
+    """kill(silent=True) must drop a cached placement that still maps the
+    dead process — the signature alone cannot be trusted to move."""
+
+    def test_silent_kill_drops_cache_entry(self) -> None:
+        platform = make_platform("intel")
+        world = make_world(
+            platform, CfsScheduler(), engine="tick", seed=0, vectorized=True
+        )
+        model = replace(resolve_model("ep.C"))
+        model.total_work = 50.0
+        victim = world.spawn(model, nthreads=2)
+        survivor = world.spawn(replace(model), nthreads=2)
+        world.step()
+        world.step()  # second tick serves the cached placement
+        assert any(tid.pid == victim.pid for tid in world._placement_cache)
+        world.kill(victim.pid, silent=True)
+        assert world._placement_sig is None
+        assert world._placement_cache == {}
+        world.step()
+        assert all(
+            tid.pid == survivor.pid for tid in world._placement_cache
+        )
+        assert world._placement_cache  # survivor still placed
+
+    def test_silent_kill_parity_across_engines(self) -> None:
+        results = []
+        for engine in ("tick", "event"):
+            world, exit_order = _build_world(0, engine)
+            _spawn_mix(world, 0)
+            victim = world.spawn(replace(resolve_model("ep.C")), nthreads=2)
+            world.run_for(0.2)
+            world.kill(victim.pid, silent=True)
+            world.run_for(1.0)
+            results.append(_fingerprint(world, exit_order))
+        assert results[0] == results[1]
