@@ -113,9 +113,9 @@ def fake_application(rm_socket: str, push_socket: str, pid: int, name: str,
     reply = client.request(RegisterRequest(
         pid=pid, app_name=name, adaptivity="scalable",
         provides_utility=True, push_socket=push_socket,
-    ))
+    ), timeout=5.0)
     assert isinstance(reply, RegisterReply) and reply.ok
-    client.request(OperatingPointsMessage(pid=pid, points=points))
+    client.request(OperatingPointsMessage(pid=pid, points=points), timeout=5.0)
     return client, activations
 
 

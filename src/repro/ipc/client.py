@@ -128,13 +128,20 @@ class HarpSocketClient(Transport):
         return reply
 
     def reconnect(self) -> None:
-        """Drop and re-establish the request connection to the RM."""
+        """Drop and re-establish the request connection to the RM.
+
+        The new connection is dialled and the old socket closed *outside*
+        the request lock — ``close()`` can block flushing unsent data,
+        and every in-flight ``request()`` queues on that lock.  Only the
+        pointer swap is serialized.
+        """
         if self._closed:
             raise ProtocolError("transport closed")
+        sock = self._connect()
         with self._request_lock:
-            with contextlib.suppress(OSError):
-                self._request_sock.close()
-            self._request_sock = self._connect()
+            old, self._request_sock = self._request_sock, sock
+        with contextlib.suppress(OSError):
+            old.close()
         if OBS.enabled:
             OBS.counter("ipc.reconnects").inc()
 

@@ -140,11 +140,15 @@ class HarpSocketServer:
                 conn.shutdown(socket.SHUT_RDWR)
             with contextlib.suppress(OSError):
                 conn.close()
+        # Detach the push sockets under the lock, close them outside it:
+        # close() can block flushing unsent pushes, and the epoch loop's
+        # push() path contends on this lock.
         with self._push_lock:
-            for sock in self._push_sockets.values():
-                with contextlib.suppress(OSError):
-                    sock.close()
+            push_socks = list(self._push_sockets.values())
             self._push_sockets.clear()
+        for sock in push_socks:
+            with contextlib.suppress(OSError):
+                sock.close()
         with contextlib.suppress(FileNotFoundError):
             os.unlink(self.socket_path)
         for thread in self._threads:
@@ -170,10 +174,12 @@ class HarpSocketServer:
         sock.connect(push_socket_path)
         with self._push_lock:
             old = self._push_sockets.pop(pid, None)
-            if old is not None:
-                with contextlib.suppress(OSError):
-                    old.close()
             self._push_sockets[pid] = sock
+        # Close the displaced socket outside the lock — close() can
+        # block, and push() serializes on _push_lock.
+        if old is not None:
+            with contextlib.suppress(OSError):
+                old.close()
 
     def push(self, pid: int, message: Message) -> bool:
         """Send a push message to an application; False if unreachable."""

@@ -1,7 +1,8 @@
 """The ``harplint`` command line (also ``python -m repro.lint``).
 
-Exit status: 0 when the tree is clean (or ``--list-rules``), 1 when any
-non-suppressed diagnostic remains, 2 on usage errors.
+Exit status: 0 when the tree is clean (or ``--list-rules``,
+``--dump-callgraph``, ``--fix-suppressions``), 1 when any non-suppressed
+diagnostic remains, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import sys
 from typing import Sequence
 
 from repro.lint.registry import select_rules
-from repro.lint.runner import lint_paths
+from repro.lint.runner import RunStats, lint_paths, load_project, run
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -21,7 +22,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based static analysis for the HARP reproduction: "
             "determinism, mutation-safety, float-equality, "
-            "reference/vectorized parity coverage, and IPC conformance."
+            "reference/vectorized parity coverage, IPC conformance, and "
+            "whole-program taint, lock-discipline, and time-unit checks."
         ),
     )
     parser.add_argument(
@@ -51,7 +53,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--dump-callgraph",
+        action="store_true",
+        help="print the resolved whole-program call graph as JSON and exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule timing and index build cost to stderr",
+    )
+    parser.add_argument(
+        "--fix-suppressions",
+        action="store_true",
+        help=(
+            "rewrite files in place, removing suppressions whose "
+            "diagnostic no longer fires (full-registry run)"
+        ),
+    )
     return parser
+
+
+def _print_stats(stats: RunStats) -> None:
+    print(
+        f"harplint: {stats.n_files} files parsed in "
+        f"{stats.parse_seconds * 1e3:.0f} ms; index "
+        f"({stats.index_functions} functions, {stats.index_edges} edges) "
+        f"built in {stats.index_seconds * 1e3:.0f} ms",
+        file=sys.stderr,
+    )
+    for rs in sorted(stats.rules, key=lambda r: -r.seconds):
+        print(
+            f"harplint:   {rs.code} {rs.name:<20} "
+            f"{rs.seconds * 1e3:7.1f} ms  {rs.diagnostics} diagnostic(s)",
+            file=sys.stderr,
+        )
+    print(
+        f"harplint: total {stats.total_seconds * 1e3:.0f} ms",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -63,14 +103,41 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"       {rule.rationale}")
         return 0
 
+    if args.dump_callgraph:
+        try:
+            project = load_project(args.paths)
+        except OSError as exc:
+            print(f"harplint: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(project.index().callgraph.to_json(), indent=2))
+        return 0
+
+    if args.fix_suppressions:
+        from repro.lint.rules.suppressions import fix_project
+
+        try:
+            project = load_project(args.paths)
+        except OSError as exc:
+            print(f"harplint: {exc}", file=sys.stderr)
+            return 2
+        raw = run(project, apply_suppressions=False)
+        results = fix_project(project, raw)
+        for path, removed in sorted(results.items()):
+            print(f"harplint: {path}: removed {removed} stale suppression(s)")
+        if not results:
+            print("harplint: no stale suppressions")
+        return 0
+
     codes = None
     if args.select:
         codes = [c for c in args.select.split(",") if c.strip()]
+    stats = RunStats() if args.stats else None
     try:
         diagnostics = lint_paths(
             args.paths,
             codes=codes,
             apply_suppressions=not args.no_suppressions,
+            stats=stats,
         )
     except KeyError as exc:
         print(f"harplint: {exc.args[0]}", file=sys.stderr)
@@ -94,6 +161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(diagnostic.format())
         if diagnostics:
             print(f"harplint: {len(diagnostics)} diagnostic(s)")
+    if stats is not None:
+        _print_stats(stats)
     return 1 if diagnostics else 0
 
 

@@ -23,6 +23,10 @@ class Rule:
     code: str = "HL000"
     name: str = "rule"
     rationale: str = ""
+    #: True for whole-program rules that walk the symbol table / call
+    #: graph; the runner forces the shared index to build (and charges
+    #: its one-time cost) before timing these rules individually.
+    needs_index: bool = False
 
     def check(self, project: Project) -> Iterator[Diagnostic]:
         raise NotImplementedError

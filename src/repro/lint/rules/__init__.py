@@ -4,7 +4,11 @@ from repro.lint.rules import (  # noqa: F401
     determinism,
     floats,
     ipc,
+    locks,
     mutation,
     parity,
+    suppressions,
+    taint,
     timeouts,
+    units,
 )

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.registry import Rule, select_rules
+from repro.lint.registry import Rule, all_rules, select_rules
 from repro.lint.source import Project, SourceFile
 
 # Directory segments never scanned when expanding a directory argument.
@@ -45,16 +47,46 @@ def collect_files(
     return out
 
 
+@dataclass
+class RuleStat:
+    """Timing and yield of one rule over one run (``--stats``)."""
+
+    code: str
+    name: str
+    seconds: float
+    diagnostics: int
+
+
+@dataclass
+class RunStats:
+    """Where a lint run spent its time."""
+
+    n_files: int = 0
+    parse_seconds: float = 0.0
+    #: One-time whole-program index (symbol table + call graph) build
+    #: cost, charged separately so per-rule numbers stay comparable.
+    index_seconds: float = 0.0
+    index_functions: int = 0
+    index_edges: int = 0
+    rules: list[RuleStat] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+
 def run(
     project: Project,
     rules: Iterable[Rule] | None = None,
     apply_suppressions: bool = True,
+    stats: RunStats | None = None,
 ) -> list[Diagnostic]:
     """Run rules over a project; returns surviving diagnostics, sorted.
 
     Files that failed to parse produce an ``HL000`` diagnostic each (a
     broken file must fail the build, not silently skip its rules).
+    Rules with ``needs_raw`` (HL007 stale-suppression) run last, against
+    the raw pre-suppression stream of every other rule.  Pass ``stats``
+    to collect per-rule wall time and the shared index build cost.
     """
+    t_start = time.perf_counter()
     rule_list = list(rules) if rules is not None else select_rules(None)
     diagnostics: list[Diagnostic] = []
     files_by_path = {f.path: f for f in project.files}
@@ -69,8 +101,57 @@ def run(
                     message=f"file does not parse: {file.parse_error}",
                 )
             )
+
+    # Build the shared whole-program index up front when any rule needs
+    # it, so its one-time cost is not billed to whichever rule runs first.
+    if any(getattr(r, "needs_index", False) for r in rule_list):
+        index = project.index()
+        if stats is not None:
+            stats.index_seconds = index.build_seconds
+            stats.index_functions = len(index.symbols.functions)
+            stats.index_edges = sum(
+                len(sites) for sites in index.callgraph.edges.values()
+            )
+
+    raw_rules = [r for r in rule_list if getattr(r, "needs_raw", False)]
     for rule in rule_list:
-        diagnostics.extend(rule.check(project))
+        if getattr(rule, "needs_raw", False):
+            continue
+        t0 = time.perf_counter()
+        found = list(rule.check(project))
+        diagnostics.extend(found)
+        if stats is not None:
+            stats.rules.append(
+                RuleStat(
+                    code=rule.code,
+                    name=rule.name,
+                    seconds=time.perf_counter() - t0,
+                    diagnostics=len(found),
+                )
+            )
+
+    checked_codes = {
+        r.code for r in rule_list if not getattr(r, "needs_raw", False)
+    }
+    full_run = checked_codes >= {
+        r.code for r in all_rules() if not getattr(r, "needs_raw", False)
+    }
+    for rule in raw_rules:
+        t0 = time.perf_counter()
+        found = list(
+            rule.check_raw(project, diagnostics, checked_codes, full_run)
+        )
+        diagnostics.extend(found)
+        if stats is not None:
+            stats.rules.append(
+                RuleStat(
+                    code=rule.code,
+                    name=rule.name,
+                    seconds=time.perf_counter() - t0,
+                    diagnostics=len(found),
+                )
+            )
+
     if apply_suppressions:
         diagnostics = [
             d
@@ -78,18 +159,35 @@ def run(
             if d.code == "HL000"
             or not files_by_path[d.path].is_suppressed(d.code, d.line)
         ]
-    return sorted(set(diagnostics), key=Diagnostic.sort_key)
+    out = sorted(set(diagnostics), key=Diagnostic.sort_key)
+    if stats is not None:
+        stats.n_files = len(project.files)
+        stats.total_seconds = time.perf_counter() - t_start
+    return out
+
+
+def load_project(paths: Sequence[str | Path]) -> Project:
+    """Collect and parse path arguments into a :class:`Project`."""
+    return Project([SourceFile.load(p) for p in collect_files(paths)])
 
 
 def lint_paths(
     paths: Sequence[str | Path],
     codes: Sequence[str] | None = None,
     apply_suppressions: bool = True,
+    stats: RunStats | None = None,
 ) -> list[Diagnostic]:
     """Convenience wrapper: collect, parse, and lint in one call."""
-    files = [SourceFile.load(p) for p in collect_files(paths)]
-    return run(
-        Project(files),
+    t0 = time.perf_counter()
+    project = load_project(paths)
+    parse_seconds = time.perf_counter() - t0
+    diagnostics = run(
+        project,
         rules=select_rules(codes),
         apply_suppressions=apply_suppressions,
+        stats=stats,
     )
+    if stats is not None:
+        stats.parse_seconds = parse_seconds
+        stats.total_seconds += parse_seconds
+    return diagnostics

@@ -23,10 +23,14 @@ from __future__ import annotations
 
 import ast
 import io
+import os
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
+
+#: path -> ((mtime_ns, size, role), SourceFile); see :meth:`SourceFile.load`.
+_FILE_CACHE: dict[str, tuple[tuple, "SourceFile"]] = {}
 
 ROLE_SRC = "src"
 ROLE_TEST = "test"
@@ -34,6 +38,13 @@ ROLE_FIXTURE = "fixture"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*harplint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+?)\s*(?:--|$)"
+)
+
+#: Non-suppression directives: escape hatches and declarations consumed by
+#: the whole-program rules (``pure-wall-time`` for HL010, ``unit=<u>`` for
+#: HL012).  Kept deliberately narrow — an unknown directive is ignored.
+_PRAGMA_RE = re.compile(
+    r"#\s*harplint:\s*(pure-wall-time|unit\s*=\s*[A-Za-z_][A-Za-z0-9_]*)"
 )
 
 
@@ -48,37 +59,60 @@ def classify_role(path: str | Path) -> str:
     return ROLE_SRC
 
 
-def parse_suppressions(text: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Extract per-line and file-level suppressed codes from comments.
-
-    Returns ``(line -> {codes}, file_codes)``; the special token ``all``
-    is kept verbatim and matches every code.
-    """
-    per_line: dict[int, set[str]] = {}
-    file_level: set[str] = set()
+def _comments(text: str) -> list[tuple[int, str]]:
+    """``(line, comment_text)`` for every comment token in ``text``."""
     try:
         tokens = tokenize.generate_tokens(io.StringIO(text).readline)
-        comments = [
+        return [
             (tok.start[0], tok.string)
             for tok in tokens
             if tok.type == tokenize.COMMENT
         ]
     except (tokenize.TokenError, SyntaxError, IndentationError):
-        comments = [
+        return [
             (i, line)
             for i, line in enumerate(text.splitlines(), start=1)
             if "#" in line
         ]
+
+
+def _parse_directives(
+    comments: list[tuple[int, str]],
+) -> tuple[dict[int, set[str]], set[str], dict[int, set[str]], dict[int, set[str]]]:
+    """Split harplint comments into suppressions and pragmas.
+
+    Returns ``(line -> {codes}, file_codes, file_sites, line ->
+    {pragmas})`` where ``file_sites`` maps the line each ``disable-file``
+    comment sits on to its codes (HL007 points its diagnostics there).
+    The special suppression token ``all`` is kept verbatim and matches
+    every code.  Pragmas are normalized (whitespace around ``=``
+    stripped).
+    """
+    per_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    file_sites: dict[int, set[str]] = {}
+    pragmas: dict[int, set[str]] = {}
     for lineno, comment in comments:
         match = _SUPPRESS_RE.search(comment)
-        if not match:
+        if match:
+            kind, raw = match.groups()
+            codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+            if kind == "disable-file":
+                file_level |= codes
+                file_sites.setdefault(lineno, set()).update(codes)
+            else:
+                per_line.setdefault(lineno, set()).update(codes)
             continue
-        kind, raw = match.groups()
-        codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
-        if kind == "disable-file":
-            file_level |= codes
-        else:
-            per_line.setdefault(lineno, set()).update(codes)
+        pmatch = _PRAGMA_RE.search(comment)
+        if pmatch:
+            token = re.sub(r"\s*=\s*", "=", pmatch.group(1))
+            pragmas.setdefault(lineno, set()).add(token)
+    return per_line, file_level, file_sites, pragmas
+
+
+def parse_suppressions(text: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract per-line and file-level suppressed codes from comments."""
+    per_line, file_level, _, _ = _parse_directives(_comments(text))
     return per_line, file_level
 
 
@@ -94,12 +128,37 @@ class SourceFile:
     parse_error_line: int = 1
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    #: ``line -> {codes}`` for the ``disable-file`` comments themselves.
+    file_suppression_sites: dict[int, set[str]] = field(default_factory=dict)
+    #: ``line -> {directive}`` for non-suppression harplint comments
+    #: (``pure-wall-time``, ``unit=<u>``), consumed by HL010/HL012.
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: str | Path, role: str | None = None) -> "SourceFile":
+        """Load and parse ``path``, via the process-local AST cache.
+
+        Parsing and tokenizing the ~200-file tree dominates a lint run, so
+        repeated runs in one process (the test suite runs the CLI over the
+        whole tree several times) reuse the parsed file as long as the
+        (mtime, size) stat signature is unchanged.  Cached entries are
+        treated as immutable — rules never mutate a SourceFile.
+        """
         path = str(path)
+        try:
+            stat = os.stat(path)
+            sig = (stat.st_mtime_ns, stat.st_size, role)
+        except OSError:
+            sig = None
+        if sig is not None:
+            cached = _FILE_CACHE.get(path)
+            if cached is not None and cached[0] == sig:
+                return cached[1]
         text = Path(path).read_text(encoding="utf-8")
-        return cls.from_text(path, text, role=role)
+        file = cls.from_text(path, text, role=role)
+        if sig is not None:
+            _FILE_CACHE[path] = (sig, file)
+        return file
 
     @classmethod
     def from_text(
@@ -115,7 +174,9 @@ class SourceFile:
         except SyntaxError as exc:
             error = exc.msg or "syntax error"
             error_line = exc.lineno or 1
-        per_line, file_level = parse_suppressions(text)
+        per_line, file_level, file_sites, pragmas = _parse_directives(
+            _comments(text)
+        )
         return cls(
             path=path,
             text=text,
@@ -125,6 +186,8 @@ class SourceFile:
             parse_error_line=error_line,
             suppressions=per_line,
             file_suppressions=file_level,
+            file_suppression_sites=file_sites,
+            pragmas=pragmas,
         )
 
     def is_suppressed(self, code: str, line: int) -> bool:
@@ -140,6 +203,20 @@ class Project:
 
     def __init__(self, files: list[SourceFile]):
         self.files = files
+        self._index = None
+
+    def index(self):
+        """The whole-program :class:`repro.lint.symbols.ProjectIndex`.
+
+        Built lazily on first use and shared by every rule in the run
+        (HL010 and HL011 both walk the same call graph).  The import is
+        local to break the source ↔ symbols module cycle.
+        """
+        if self._index is None:
+            from repro.lint.symbols import ProjectIndex
+
+            self._index = ProjectIndex.build(self)
+        return self._index
 
     @classmethod
     def load(cls, paths: list[str | Path]) -> "Project":

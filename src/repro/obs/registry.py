@@ -358,6 +358,11 @@ class Registry:
         args: dict,
         ts_s: float | None = None,
     ) -> None:
+        # Read the clock before taking the lock: the clock is an injected
+        # callable of unknown cost (and possibly re-entrant into this
+        # registry), so it must not run inside the critical section.
+        if ts_s is None:
+            ts_s = self.now_s()
         with self._lock:
             if len(self._events) >= self.max_events:
                 self._dropped_events += 1
@@ -365,7 +370,7 @@ class Registry:
             self._events.append(
                 Event(
                     seq=self._seq,
-                    ts_s=self.now_s() if ts_s is None else ts_s,
+                    ts_s=ts_s,
                     name=name,
                     kind=kind,
                     track=track,

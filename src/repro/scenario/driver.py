@@ -187,6 +187,7 @@ class TraceDriver:
         }
 
 
+# harplint: pure-wall-time -- wall_s is measurement-only; sim state advances on world.clock + explicit seed
 def run_trace(
     spec: ScenarioSpec,
     seed: int = 0,

@@ -1,0 +1,5 @@
+"""HL007 fixture: stale and typo'd suppressions."""
+
+x = 1.0  # harplint: disable=HL003 -- the compare this excused is long gone
+y = 2  # harplint: disable=HL099
+# harplint: disable-file=HL005

@@ -1,0 +1,24 @@
+"""HL010 fixture: a protected "sim" module staying deterministic."""
+
+import numpy as np
+
+from hl010_util import span_elapsed
+
+
+def seeded(seed):
+    # Explicit seed: not a source.
+    return np.random.default_rng(seed)
+
+
+def advance(world, dt_s):
+    # Simulated clock arithmetic only.
+    world.now_s = world.now_s + dt_s
+    return world.now_s
+
+
+def timed_run(world):
+    # span_elapsed is marked pure-wall-time at its definition, so its
+    # perf_counter read is absorbed there and never taints this caller.
+    t0 = 0.0
+    world.step()
+    return span_elapsed(t0)

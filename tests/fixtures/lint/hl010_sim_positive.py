@@ -1,0 +1,27 @@
+"""HL010 fixture: a protected "sim" module reaching entropy sources.
+
+The file name's ``sim`` marker opts this fixture into the protected set,
+so every function here is held to the determinism contract.
+"""
+
+import time
+
+from hl010_util import chained, fresh_rng
+
+
+def step_world(state):
+    # Interprocedural: chained -> jittery_delay -> time.time().
+    state.t += chained()
+    return state
+
+
+def seed_schedule():
+    # Interprocedural: fresh_rng -> unseeded default_rng().
+    rng = fresh_rng()
+    return rng
+
+
+def measure_direct():
+    # Direct monotonic-family read in protected code (HL001 ignores
+    # perf_counter; HL010 does not).
+    return time.perf_counter()

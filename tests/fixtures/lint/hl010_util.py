@@ -1,0 +1,28 @@
+"""HL010 fixture: entropy-reading helpers (not themselves protected).
+
+Nothing here is flagged directly — the module name carries no protected
+marker — but taint seeded here must surface at protected call sites.
+"""
+
+import time
+
+import numpy as np
+
+
+def jittery_delay():
+    return time.time() % 1.0
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def chained():
+    # One hop deeper: protected callers of chained() are two edges from
+    # the actual wall-clock read.
+    return jittery_delay() + 1.0
+
+
+# harplint: pure-wall-time -- measurement helper; never feeds sim state
+def span_elapsed(t0):
+    return time.perf_counter() - t0

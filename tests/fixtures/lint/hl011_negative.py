@@ -1,0 +1,48 @@
+"""HL011 fixture: disciplined locking the rule must stay silent on."""
+
+import contextlib
+import socket
+import threading
+
+
+class Channel:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._order_a_lock = threading.Lock()
+        self._order_b_lock = threading.Lock()
+        self._sock = None
+        self._conns = {}
+
+    def swap_then_close(self, sock):
+        # Pointer swap under the lock, blocking close outside it — the
+        # sanctioned shape the IPC server/client use.
+        with self._lock:
+            old, self._sock = self._sock, sock
+        with contextlib.suppress(OSError):
+            old.close()
+
+    def bounded_request(self, message):
+        # settimeout bounds every socket op in this function.
+        with self._lock:
+            self._sock.settimeout(1.0)
+            self._sock.sendall(message)
+            return self._sock.recv(65536)
+
+    def reentrant(self):
+        with self._lock:
+            with self._lock:
+                pass
+
+    def ab_one(self):
+        with self._order_a_lock:
+            with self._order_b_lock:
+                pass
+
+    def ab_two(self):
+        with self._order_a_lock:
+            with self._order_b_lock:
+                pass
+
+    def bounded_join(self, worker):
+        with self._lock:
+            worker.join(timeout=0.5)

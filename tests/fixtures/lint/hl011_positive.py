@@ -1,0 +1,51 @@
+"""HL011 fixture: every lock-discipline hazard the rule knows."""
+
+import socket
+import threading
+from typing import Callable
+
+
+def _send_all(sock, payload):
+    sock.sendall(payload)
+
+
+class PushFanout:
+    def __init__(self, notify: Callable[[], None]):
+        self._lock = threading.Lock()
+        self._order_a_lock = threading.Lock()
+        self._order_b_lock = threading.Lock()
+        self._notify = notify
+        self._conns = {}
+
+    def direct_block(self, payload):
+        with self._lock:
+            for conn in self._conns.values():
+                conn.sendall(payload)
+
+    def indirect_block(self, payload):
+        with self._lock:
+            for conn in self._conns.values():
+                _send_all(conn, payload)
+
+    def callback_under_lock(self):
+        with self._lock:
+            self._notify()
+
+    def wait_under_lock(self, worker):
+        with self._lock:
+            worker.join()
+
+    def reacquire(self):
+        with self._lock:
+            with self._lock:
+                pass
+
+    def ab(self):
+        with self._order_a_lock:
+            with self._order_b_lock:
+                pass
+
+    def ba(self):
+        with self._order_b_lock:
+            with self._order_a_lock:
+                pass

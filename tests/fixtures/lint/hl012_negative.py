@@ -1,0 +1,33 @@
+"""HL012 fixture: disciplined time units the rule must stay silent on."""
+
+import time
+
+
+def good_duration(start_sim_s, end_sim_s):
+    return end_sim_s - start_sim_s
+
+
+def generic_bridge(dt_s, deadline_sim_s):
+    # Generic seconds are compatible with either clock domain.
+    return deadline_sim_s + dt_s
+
+
+def conversion(ts_s):
+    # Multiplication launders units: this is a conversion, not a mix.
+    ts_us = ts_s * 1e6
+    return ts_us
+
+
+def elapsed(t0):
+    # Unknown operand (t0): absence of knowledge, not a finding.
+    return time.perf_counter() - t0
+
+
+def pragma_binding(raw_window, epoch_ticks):
+    window = raw_window  # harplint: unit=ticks
+    return window - epoch_ticks
+
+
+def sanctioned_rebase(t_wall_s, offset_sim_s):
+    t_sim_s = t_wall_s + offset_sim_s  # harplint: unit=sim_s -- clock re-base
+    return t_sim_s

@@ -1,0 +1,21 @@
+"""HL012 fixture: arithmetic and comparisons across time units."""
+
+import time
+
+
+def bad_budget(dur_sim_s, epoch_ticks):
+    return dur_sim_s + epoch_ticks
+
+
+def bad_deadline(deadline_sim_s):
+    return deadline_sim_s > time.perf_counter()
+
+
+def bad_accumulate(lat_ms):
+    total_s = 0.0
+    total_s += lat_ms
+    return total_s
+
+
+def bad_compare(t_wall_s, t_sim_s):
+    return t_wall_s < t_sim_s

@@ -1,4 +1,7 @@
-"""Tests for the harplint static-analysis suite (rules HL001–HL006).
+"""Tests for the harplint static-analysis suite (per-file rules
+HL001–HL006 plus framework and CLI; the whole-program layer — HL007,
+HL010, HL011, HL012, symbols, call graph, dataflow — is covered in
+``test_harplint_wholeprogram.py``).
 
 Each rule is exercised against fixture files under ``tests/fixtures/lint``
 in three configurations: positives fire, negatives stay silent, and
@@ -53,10 +56,11 @@ def lint_fixture(
 
 
 class TestFramework:
-    def test_registry_has_the_six_rules(self):
+    def test_registry_has_the_ten_rules(self):
         codes = [r.code for r in all_rules()]
         assert codes == [
             "HL001", "HL002", "HL003", "HL004", "HL005", "HL006",
+            "HL007", "HL010", "HL011", "HL012",
         ]
 
     def test_unknown_rule_code_rejected(self):
@@ -320,8 +324,35 @@ class TestBoundedBlocking:
 
 class TestCli:
     def test_tree_is_clean(self):
-        """The acceptance contract: harplint over src+tests exits 0."""
-        assert main([str(REPO / "src"), str(REPO / "tests")]) == 0
+        """The acceptance contract: the whole tree lints clean."""
+        assert main(
+            [
+                str(REPO / "src"),
+                str(REPO / "tests"),
+                str(REPO / "benchmarks"),
+                str(REPO / "examples"),
+            ]
+        ) == 0
+
+    def test_full_run_stays_fast(self):
+        """Lint-perf smoke: a full ten-rule run over the entire tree,
+        including the whole-program index build, stays under the 5 s
+        budget the pre-commit workflow assumes."""
+        from repro.lint import RunStats, lint_paths
+
+        stats = RunStats()
+        diags = lint_paths(
+            [REPO / "src", REPO / "tests", REPO / "benchmarks",
+             REPO / "examples"],
+            stats=stats,
+        )
+        assert diags == []
+        assert stats.total_seconds < 5.0, (
+            f"lint run took {stats.total_seconds:.2f}s "
+            f"(index {stats.index_seconds:.2f}s)"
+        )
+        assert stats.index_functions > 1000
+        assert {rs.code for rs in stats.rules} >= {"HL010", "HL011", "HL012"}
 
     def test_explicit_fixture_file_fails(self, capsys):
         rc = main([str(FIXTURES / "hl003_positive.py")])
@@ -352,7 +383,10 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("HL001", "HL002", "HL003", "HL004", "HL005"):
+        for code in (
+            "HL001", "HL002", "HL003", "HL004", "HL005", "HL006",
+            "HL007", "HL010", "HL011", "HL012",
+        ):
             assert code in out
 
     def test_directory_scan_skips_fixtures(self):
