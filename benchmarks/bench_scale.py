@@ -316,20 +316,111 @@ def bench_ipc(
     }
 
 
+def bench_fleet_admission(n_nodes: int) -> dict:
+    """Coordinator admission throughput at one fleet size.
+
+    Builds an ``n_nodes`` fleet, submits two apps per node, and times the
+    single coordinator epoch that places all of them (lease check +
+    greedy admission solve + batched directive pushes + node-side
+    spawns) — the fleet-level analogue of the warm intra-node epoch.
+    """
+    from repro.fleet import FleetSim, generate_fleet_apps
+
+    apps = generate_fleet_apps(
+        seed=n_nodes, n_apps=2 * n_nodes, horizon_s=0.0, work_scale=0.05
+    )
+    fleet = FleetSim(n_nodes=n_nodes, apps=apps, seed=7)
+    for spec in apps:
+        fleet.coordinator.submit(spec)
+    t0 = time.perf_counter()
+    fleet.coordinator.run_epoch()
+    elapsed_s = time.perf_counter() - t0
+    placed = sum(
+        1 for rec in fleet.coordinator.apps.values() if rec.state == "placed"
+    )
+    assert placed == len(apps), f"only {placed}/{len(apps)} apps placed"
+    return {
+        "n_nodes": n_nodes,
+        "n_apps": len(apps),
+        "admission_epoch_ms": elapsed_s * 1e3,
+        "admissions_per_s": placed / elapsed_s,
+        "us_per_admission": elapsed_s * 1e6 / placed,
+    }
+
+
+def bench_fleet_recovery(n_nodes: int = 8) -> dict:
+    """Node-kill recovery: crash one node mid-run, verify the fleet
+    re-admits its apps and fleet-total energy stays monotone (no
+    discontinuity from the frozen node or the re-placed apps)."""
+    from repro.fleet import CoordinatorConfig, FleetSim, generate_fleet_apps
+
+    apps = generate_fleet_apps(
+        seed=3, n_apps=2 * n_nodes, horizon_s=0.25, work_scale=0.05
+    )
+    fleet = FleetSim(
+        n_nodes=n_nodes,
+        apps=apps,
+        seed=5,
+        coordinator_config=CoordinatorConfig(node_lease_epochs=1),
+    )
+    fleet.run(3)
+    fleet.nodes[0].crash()
+    crash_epoch = fleet.epoch
+    last = fleet.fleet_energy_j()
+    recovered_epoch = None
+    for _ in range(200):
+        fleet.run_epoch()
+        total = fleet.fleet_energy_j()
+        assert total >= last - 1e-9, (
+            f"fleet energy discontinuity at epoch {fleet.epoch}: "
+            f"{total} < {last}"
+        )
+        last = total
+        if recovered_epoch is None and fleet.coordinator.nodes_reaped:
+            recovered_epoch = fleet.epoch
+        if fleet.coordinator.all_finished():
+            break
+    assert fleet.coordinator.all_finished(), "fleet did not finish"
+    assert recovered_epoch is not None, "crashed node was never reaped"
+    return {
+        "n_nodes": n_nodes,
+        "n_apps": len(apps),
+        "crash_epoch": crash_epoch,
+        "reap_epoch": recovered_epoch,
+        "readmissions": fleet.coordinator.readmissions,
+        "finish_epoch": fleet.epoch,
+        "fleet_energy_j": last,
+    }
+
+
+def bench_fleet(n_nodes_list: list[int]) -> dict:
+    return {
+        "admission": [bench_fleet_admission(n) for n in n_nodes_list],
+        "recovery": bench_fleet_recovery(),
+    }
+
+
+FULL_FLEET_NODES = [4, 8, 16, 32, 64]
+SMOKE_FLEET_NODES = [4, 8]
+
+
 def run(smoke: bool = False) -> dict:
     if smoke:
         solver = [
             bench_solver(n, n_points=8, epochs=6) for n in SMOKE_N_APPS
         ]
         ipc = bench_ipc(n_clients=16, epochs=30, n_requesters=4)
+        fleet = bench_fleet(SMOKE_FLEET_NODES)
     else:
         solver = [bench_solver(n) for n in FULL_N_APPS]
         ipc = bench_ipc()
+        fleet = bench_fleet(FULL_FLEET_NODES)
     report = {
         "bench": "scale",
         "smoke": smoke,
         "solver": solver,
         "ipc": ipc,
+        "fleet": fleet,
     }
     path = SMOKE_RESULT_PATH if smoke else RESULT_PATH
     path.parent.mkdir(exist_ok=True)
@@ -360,6 +451,16 @@ def run(smoke: bool = False) -> dict:
                 )
         assert ipc["speedup"] >= 2.0, (
             f"selector IPC speedup {ipc['speedup']:.1f}x below the 2x target"
+        )
+        # Near-linear fleet admission: per-admission cost may grow with
+        # the candidate-node scan, but nowhere near quadratically — a
+        # 16x node sweep must stay within 16x per-admission cost.
+        first, final = fleet["admission"][0], fleet["admission"][-1]
+        node_growth = final["n_nodes"] / first["n_nodes"]
+        cost_growth = final["us_per_admission"] / first["us_per_admission"]
+        assert cost_growth <= node_growth, (
+            f"fleet admission cost grew {cost_growth:.1f}x over a "
+            f"{node_growth:.0f}x node sweep — super-linear scaling"
         )
     return report
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fleet chaos smoke — an 8-node fleet under node kill + partition,
+run twice, must be bit-identical.
+
+Runs a seeded workload across an 8-node fleet (one coordinator, eight
+full HARP node shards) while a deterministic node-scoped fault plan
+fires mid-run: one node crashes outright and another partitions away
+long enough to be reaped and reconciled.  The whole run is then repeated
+and diffed — any divergence in fleet-total energy, per-node energy,
+per-app books (ground-truth and attributed), the fault audit log, or the
+coordinator counters is a determinism regression and exits non-zero.
+This is the CI fleet-chaos-smoke contract from docs/robustness.md §6.
+
+Usage::
+
+    python examples/fleet_chaos_smoke.py
+    python examples/fleet_chaos_smoke.py --seed 11 --obs fleet_chaos_trace.json
+"""
+
+import argparse
+import sys
+
+from repro.fault import Fault, FaultKind, FaultPlan
+from repro.fleet import CoordinatorConfig, FleetSim, generate_fleet_apps
+
+N_NODES = 8
+
+
+def fleet_chaos_run(seed: int) -> dict:
+    """One faulted fleet run; returns everything that must replay."""
+    plan = FaultPlan([
+        Fault(at_s=0.6, kind=FaultKind.NODE_CRASH, target="node-2"),
+        Fault(at_s=0.9, kind=FaultKind.NODE_PARTITION, target="node-5",
+              params={"duration_s": 1.0}),
+    ], seed=seed)
+    fleet = FleetSim(
+        n_nodes=N_NODES,
+        apps=generate_fleet_apps(
+            seed=seed, n_apps=2 * N_NODES, horizon_s=0.5, work_scale=0.05
+        ),
+        seed=seed,
+        plan=plan,
+        coordinator_config=CoordinatorConfig(node_lease_epochs=1),
+    )
+    fleet.run_until_done(max_epochs=400)
+    assert fleet.injector is not None and fleet.injector.done(), \
+        "fault plan did not fully fire"
+    assert fleet.coordinator.all_finished(), "fleet did not finish"
+    assert fleet.coordinator.nodes_reaped >= 1, "no node was reaped"
+    assert fleet.coordinator.readmissions >= 1, "no app was re-admitted"
+    return fleet.results()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--obs", default=None, metavar="TRACE_JSON",
+                        help="record telemetry and write a Perfetto trace")
+    args = parser.parse_args()
+    if args.obs:
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+
+    print(f"=== HARP fleet chaos smoke ({N_NODES} nodes, seed {args.seed}) ===\n")
+    first = fleet_chaos_run(args.seed)
+    second = fleet_chaos_run(args.seed)
+
+    for label, run in (("run 1", first), ("run 2", second)):
+        coord = run["coordinator"]
+        print(f"{label}: {run['epoch']} epochs, "
+              f"fleet energy {run['fleet_energy_j']:.1f} J, "
+              f"{coord['nodes_reaped']} node(s) reaped, "
+              f"{coord['readmissions']} re-admission(s)")
+    for entry in first["fault_log"]:
+        print(f"  fault {entry['kind']:>16} at {entry['at_s']:.2f} s "
+              f"(node {entry['node']}, applied={entry['applied']})")
+
+    if args.obs:
+        import json
+
+        from repro.obs import OBS
+        from repro.obs.exporters import to_chrome_trace
+
+        with open(args.obs, "w") as fh:
+            json.dump(to_chrome_trace(OBS), fh)
+        print(f"\nPerfetto trace written to {args.obs}")
+
+    if first != second:
+        diffs = [k for k in first if first[k] != second[k]]
+        print(f"\nFAIL: faulted fleet runs diverged in {diffs}",
+              file=sys.stderr)
+        return 1
+    print("\nOK: both faulted fleet runs are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

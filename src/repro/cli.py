@@ -8,6 +8,7 @@ Subcommands::
     python -m repro experiment --name attribution
     python -m repro obs-report --apps ep.C mg.C --perfetto trace.json
     python -m repro sweep     --profile bursty-1k --seeds 0 1 2 --out runs.jsonl
+    python -m repro fleet     --nodes 8 --apps 16 --chaos 3
 
 ``scenario`` runs an evaluation scenario under one policy and prints
 makespan/energy (plus factors vs a baseline when requested); ``dse``
@@ -18,7 +19,9 @@ of the paper's experiments at a quick scale and prints its rows;
 a registry summary, optionally exporting Perfetto / Prometheus / JSONL
 dumps (see ``docs/observability.md``); ``sweep`` fans fleet scenarios ×
 seeds across worker processes and merges per-run JSONL results (see
-``docs/fleet_scenarios.md``).
+``docs/fleet_scenarios.md``); ``fleet`` runs the sharded hierarchical RM
+— one coordinator over N simulated nodes — optionally under a seeded
+node-scoped chaos plan (see ``docs/robustness.md`` §6).
 """
 
 from __future__ import annotations
@@ -239,6 +242,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fault import NODE_FAULT_KINDS, FaultPlan
+    from repro.fleet import CoordinatorConfig, FleetSim, generate_fleet_apps
+
+    plan = None
+    if args.plan:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_wire(json.load(fh))
+    elif args.chaos:
+        plan = FaultPlan.generate(
+            seed=args.seed,
+            horizon_s=args.horizon + 1.0,
+            kinds=list(NODE_FAULT_KINDS),
+            n_faults=args.chaos,
+            targets=[f"node-{i}" for i in range(args.nodes)],
+        )
+    fleet = FleetSim(
+        n_nodes=args.nodes,
+        apps=generate_fleet_apps(
+            seed=args.seed,
+            n_apps=args.apps,
+            horizon_s=args.horizon,
+            work_scale=args.work_scale,
+        ),
+        engine=args.engine,
+        seed=args.seed,
+        plan=plan,
+        coordinator_config=CoordinatorConfig(
+            node_lease_epochs=args.lease_epochs
+        ),
+    )
+    fleet.run_until_done(max_epochs=args.max_epochs)
+    results = fleet.results()
+    coord = results["coordinator"]
+    finished = sum(
+        1 for app in results["apps"].values() if app["state"] == "finished"
+    )
+    print(f"fleet: {args.nodes} nodes, {args.apps} apps, "
+          f"{results['epoch']} epochs ({results['time_s']:.2f}s fleet time)")
+    print(f"  finished {finished}/{len(results['apps'])} apps, "
+          f"fleet energy {results['fleet_energy_j']:.1f} J")
+    print(f"  reaped {coord['nodes_reaped']} node(s), "
+          f"{coord['readmissions']} re-admission(s), "
+          f"{coord['migrations']} migration(s), "
+          f"{coord['restarts']} coordinator restart(s)")
+    for entry in results["fault_log"]:
+        print(f"  fault {entry['kind']} at {entry['at_s']:.2f}s "
+              f"(node {entry['node']}, applied={entry['applied']})")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"results -> {args.out}")
+    return 0 if finished == len(results["apps"]) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,6 +384,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--summary-json", default=None, metavar="PATH",
                        help="write the merged per-scenario summary as JSON")
     sweep.set_defaults(func=_cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded coordinator+nodes fleet, optionally under chaos",
+    )
+    fleet.add_argument("--nodes", type=int, default=8)
+    fleet.add_argument("--apps", type=int, default=16,
+                       help="seeded workload size (generate_fleet_apps)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--engine", default="tick",
+                       choices=["tick", "event"])
+    fleet.add_argument("--horizon", type=float, default=0.5,
+                       help="arrival horizon in fleet seconds")
+    fleet.add_argument("--work-scale", type=float, default=0.05)
+    fleet.add_argument("--lease-epochs", type=int, default=2,
+                       help="node liveness lease (coordinator epochs)")
+    fleet.add_argument("--max-epochs", type=int, default=400)
+    fleet.add_argument("--chaos", type=int, default=0, metavar="N",
+                       help="generate N seeded node-scoped faults")
+    fleet.add_argument("--plan", default=None, metavar="PATH",
+                       help="fault plan JSON (overrides --chaos)")
+    fleet.add_argument("--out", default=None, metavar="PATH",
+                       help="write the replay-comparable results JSON")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

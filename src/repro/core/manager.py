@@ -180,6 +180,12 @@ class AppSession:
     # went unanswered.
     last_seen_s: float = 0.0
     utility_misses: int = 0
+    # Cumulative energy the RM's attribution pipeline has billed this
+    # application (joules).  This is the RM-side accounting record that
+    # live migration and RM restarts must carry forward (docs/robustness.md
+    # §6): unlike the simulator's ground-truth counter it survives a move
+    # to another node as plain snapshot state.
+    attributed_energy_j: float = 0.0
     # Fault hook: extra latency applied to activation pushes for this
     # session (simulated seconds), modelling a slow reply channel.
     reply_delay_s: float = 0.0
@@ -471,10 +477,14 @@ class HarpManager:
         samples = self.monitor.sample(
             [s.pid for s in sessions], app_utilities=utilities
         )
-        # A monitoring sample proves the process existed this interval.
+        # A monitoring sample proves the process existed this interval,
+        # and its attributed energy accrues to the session's cumulative
+        # account regardless of whether the measurement is usable for the
+        # operating-point table below.
         for session in sessions:
             if session.pid in samples:
                 session.last_seen_s = self.world.time_s
+                session.attributed_energy_j += samples[session.pid].energy_j
         if OBS.enabled:
             OBS.counter("rm.sample_rounds").inc()
         needs_reallocation = False
@@ -989,6 +999,7 @@ class HarpManager:
                     "pid": session.pid,
                     "app": session.table.app_name,
                     "measurements_total": session.measurements_total,
+                    "attributed_energy_j": session.attributed_energy_j,
                     "explored": [
                         erv.to_wire()
                         for erv in sorted(
@@ -1052,6 +1063,9 @@ class HarpManager:
             if backlog is not None:
                 session.measurements_total = int(
                     backlog.get("measurements_total", 0)
+                )
+                session.attributed_energy_j = float(
+                    backlog.get("attributed_energy_j", 0.0)
                 )
                 session.explored = {
                     ExtendedResourceVector.from_wire(self.layout, counts)

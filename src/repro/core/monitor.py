@@ -50,6 +50,11 @@ class MonitorSample:
     utility: float
     power_w: float
     utility_source: str  # "app" | "ips"
+    #: Energy attributed to the application over this interval — what the
+    #: RM's own accounting (not the ground-truth simulator counter) would
+    #: bill the application for.  Accumulated per session by the manager
+    #: so energy attribution survives migrations and RM restarts.
+    energy_j: float = 0.0
 
 
 class SystemMonitor:
@@ -125,8 +130,13 @@ class SystemMonitor:
                 utility = ips
                 source = "ips"
             power = attribution[pid].power_w if pid in attribution else 0.0
+            energy_j = attribution[pid].energy_j if pid in attribution else 0.0
             samples[pid] = MonitorSample(
-                pid=pid, utility=utility, power_w=power, utility_source=source
+                pid=pid,
+                utility=utility,
+                power_w=power,
+                utility_source=source,
+                energy_j=energy_j,
             )
 
         self._last_energy = energy

@@ -15,7 +15,7 @@ headers) live in :mod:`repro.fault.wire` and are aimed at the real
 """
 
 from repro.fault.injector import SimFaultInjector
-from repro.fault.plan import Fault, FaultKind, FaultPlan
+from repro.fault.plan import NODE_FAULT_KINDS, Fault, FaultKind, FaultPlan
 from repro.fault.wire import (
     send_garbage_frame,
     send_oversized_header,
@@ -23,6 +23,7 @@ from repro.fault.wire import (
 )
 
 __all__ = [
+    "NODE_FAULT_KINDS",
     "Fault",
     "FaultKind",
     "FaultPlan",

@@ -41,6 +41,31 @@ class FaultKind(enum.Enum):
     #: The RM crashes and restarts from its last snapshot, then adopts
     #: the still-running applications.
     RM_RESTART = "rm_restart"
+    #: A whole node dies silently (world frozen, links dead); the
+    #: coordinator's node lease expires and the node's apps are
+    #: re-admitted elsewhere.  Fleet-scoped: ``target`` names a node id.
+    NODE_CRASH = "node_crash"
+    #: The coordinator↔node link drops both directions for
+    #: ``duration_epochs`` fleet epochs; the node degrades to autonomous
+    #: operation and reconciles on reconnect.  Fleet-scoped.
+    NODE_PARTITION = "node_partition"
+    #: The coordinator crashes and restarts from its last snapshot, then
+    #: re-adopts every node (the fleet-level analogue of RM_RESTART).
+    COORDINATOR_RESTART = "coordinator_restart"
+    #: A live migration is forced and then aborted after the source
+    #: suspend: the app must be rolled back onto its source node with no
+    #: loss of work or energy accounting.  Fleet-scoped.
+    MIGRATION_ABORT = "migration_abort"
+
+
+#: The fleet-scoped kinds executed by ``repro.fleet.faults`` (everything
+#: else is node-internal and handled by :class:`SimFaultInjector`).
+NODE_FAULT_KINDS: tuple[FaultKind, ...] = (
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_PARTITION,
+    FaultKind.COORDINATOR_RESTART,
+    FaultKind.MIGRATION_ABORT,
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,47 @@
+"""harpfleet: the sharded, hierarchical RM (docs/robustness.md §6).
+
+One :class:`Coordinator` places fleet apps onto N :class:`NodeManager`
+shards, each a full single-machine HARP stack (own deterministic world,
+own warm/delta intra-node solver) behind a :class:`NodeLink` speaking
+the typed fleet messages over the shared IPC codec.  The coordinator
+only solves the coarse app → node admission/migration problem, once per
+batched fleet epoch — intra-node allocation stays local and cheap.
+
+Fault tolerance is the core of the design: node liveness leases with
+reap + re-admission, live migration with suspend/snapshot/resume that
+preserves per-app energy accounting exactly, coordinator crash recovery
+via snapshot/restore/adopt, and graceful degradation of partitioned
+nodes to autonomous operation with reconciliation on reconnect.  The
+node-scoped fault kinds in :mod:`repro.fault.plan` drive all of it
+through :class:`FleetFaultInjector`.
+"""
+
+from repro.fleet.coordinator import (
+    AppRecord,
+    Coordinator,
+    CoordinatorConfig,
+    NodeRecord,
+)
+from repro.fleet.faults import FleetFaultInjector
+from repro.fleet.link import DEFAULT_FLEET_TIMEOUT_S, NodeLink
+from repro.fleet.node import NodeApp, NodeManager, NodeState, node_platform
+from repro.fleet.sim import FleetSim
+from repro.fleet.spec import FleetAppSpec, generate_fleet_apps, resolve_model
+
+__all__ = [
+    "AppRecord",
+    "Coordinator",
+    "CoordinatorConfig",
+    "DEFAULT_FLEET_TIMEOUT_S",
+    "FleetAppSpec",
+    "FleetFaultInjector",
+    "FleetSim",
+    "NodeApp",
+    "NodeLink",
+    "NodeManager",
+    "NodeRecord",
+    "NodeState",
+    "generate_fleet_apps",
+    "node_platform",
+    "resolve_model",
+]

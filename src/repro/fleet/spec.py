@@ -1,0 +1,128 @@
+"""Fleet application specs: what the coordinator places, as data.
+
+An app in the fleet is identified by a string ``app_id`` and described by
+a :class:`FleetAppSpec` — which application-suite model it runs, how many
+placement slots it occupies, and when it arrives.  Specs are plain wire
+dictionaries so they travel inside admission directives and migration
+snapshots unchanged, and the model is *resolved* (a fresh
+:class:`~repro.apps.base.ApplicationModel` instance is built) on the node
+that actually runs the app: model objects never cross node boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import kpn_model, npb_model, tbb_model, tflite_model
+from repro.apps.base import ApplicationModel
+
+#: Suite-qualified model factories: ``"npb:ep.C"`` → ``npb_model("ep.C")``.
+_MODEL_FACTORIES = {
+    "npb": npb_model,
+    "tflite": tflite_model,
+    "tbb": tbb_model,
+    "kpn": kpn_model,
+}
+
+
+@dataclass(frozen=True)
+class FleetAppSpec:
+    """One placeable application.
+
+    Attributes:
+        app_id: fleet-unique identifier (stable across migrations).
+        model: suite-qualified model name, e.g. ``"npb:ep.C"``.
+        nthreads: thread count the node spawns the process with.
+        slots: coarse capacity demand used by the coordinator's
+            admission solve (a node advertises ``capacity_slots``).
+        arrival_s: fleet time at which the app is submitted.
+        work_scale: multiplier on the base model's ``total_work``.
+    """
+
+    app_id: str
+    model: str = "npb:ep.C"
+    nthreads: int = 2
+    slots: int = 1
+    arrival_s: float = 0.0
+    work_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        suite = self.model.split(":", 1)[0]
+        if suite not in _MODEL_FACTORIES:
+            raise ValueError(f"unknown model suite {suite!r} in {self.model!r}")
+        if self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.work_scale <= 0:
+            raise ValueError("work_scale must be > 0")
+
+    def to_wire(self) -> dict:
+        return {
+            "app_id": self.app_id,
+            "model": self.model,
+            "nthreads": self.nthreads,
+            "slots": self.slots,
+            "arrival_s": self.arrival_s,
+            "work_scale": self.work_scale,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "FleetAppSpec":
+        return cls(
+            app_id=str(data["app_id"]),
+            model=str(data.get("model", "npb:ep.C")),
+            nthreads=int(data.get("nthreads", 2)),
+            slots=int(data.get("slots", 1)),
+            arrival_s=float(data.get("arrival_s", 0.0)),
+            work_scale=float(data.get("work_scale", 1.0)),
+        )
+
+
+def resolve_model(spec: FleetAppSpec) -> ApplicationModel:
+    """Build a fresh model instance for one placement of ``spec``.
+
+    Called on the executing node for every admission and resume; the
+    factories return fresh instances, so two placements (e.g. a stale
+    copy surviving a partition and its re-admitted twin) never share
+    mutable model state.
+    """
+    suite, name = spec.model.split(":", 1)
+    model = _MODEL_FACTORIES[suite](name)
+    model.total_work = model.total_work * spec.work_scale
+    return model
+
+
+def generate_fleet_apps(
+    seed: int,
+    n_apps: int,
+    horizon_s: float = 2.0,
+    models: list[str] | None = None,
+    nthreads_choices: list[int] | None = None,
+    work_scale: float = 1.0,
+) -> list[FleetAppSpec]:
+    """Draw a reproducible fleet workload from a seed.
+
+    The fleet-level analogue of the scenario generator's seeded traces
+    (``repro.scenario``): arrival times are uniform over the first
+    ``horizon_s`` fleet seconds, models and thread counts are sampled
+    from the given pools, and the result is a pure function of the
+    arguments — the same seed always yields the same workload.
+    """
+    if n_apps < 0:
+        raise ValueError("n_apps must be >= 0")
+    pool = list(models or ["npb:ep.C", "npb:is.C", "tflite:vgg"])
+    threads = list(nthreads_choices or [1, 2])
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(n_apps):
+        specs.append(
+            FleetAppSpec(
+                app_id=f"app-{i:04d}",
+                model=pool[int(rng.integers(len(pool)))],
+                nthreads=threads[int(rng.integers(len(threads)))],
+                arrival_s=float(rng.uniform(0.0, horizon_s)),
+                work_scale=work_scale,
+            )
+        )
+    return specs

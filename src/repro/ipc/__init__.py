@@ -17,6 +17,15 @@ from repro.ipc.messages import (
     ActivateOperatingPoint,
     DeregisterRequest,
     Message,
+    MigrateIn,
+    MigrateOut,
+    MigrateOutReply,
+    NodeAdoptQuery,
+    NodeAdoptReply,
+    NodeDirective,
+    NodeRegister,
+    NodeRegisterReply,
+    NodeReport,
     OperatingPointsMessage,
     RegisterReply,
     RegisterRequest,
@@ -34,6 +43,15 @@ __all__ = [
     "ActivateOperatingPoint",
     "DeregisterRequest",
     "Message",
+    "MigrateIn",
+    "MigrateOut",
+    "MigrateOutReply",
+    "NodeAdoptQuery",
+    "NodeAdoptReply",
+    "NodeDirective",
+    "NodeRegister",
+    "NodeRegisterReply",
+    "NodeReport",
     "OperatingPointsMessage",
     "RegisterReply",
     "RegisterRequest",

@@ -176,6 +176,121 @@ class ErrorReply(Message):
     recoverable: bool = True
 
 
+# -- fleet protocol (coordinator ↔ node, docs/robustness.md §6) -------------------
+#
+# The hierarchical RM speaks the same framed codec as the application
+# protocol: a node registers with the coordinator, sends one batched
+# ``NodeReport`` per fleet epoch (heartbeat + app statuses + energy), and
+# receives one batched ``NodeDirective`` back.  Migrations and adoption
+# are synchronous rpc exchanges because the coordinator needs the reply
+# (the suspend snapshot, the running-app inventory) before it can act.
+
+
+@dataclass(frozen=True)
+class NodeRegister(Message):
+    """Node → coordinator: join the fleet."""
+
+    TYPE = "node_register"
+
+    node_id: int
+    capacity_slots: int
+    engine: str = "tick"
+
+
+@dataclass(frozen=True)
+class NodeRegisterReply(Message):
+    """Coordinator → node: registration outcome and current epoch."""
+
+    TYPE = "node_register_reply"
+
+    ok: bool
+    epoch: int = 0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class NodeReport(Message):
+    """Node → coordinator: batched per-epoch heartbeat.
+
+    One report per fleet epoch carries everything the coordinator needs:
+    liveness (its arrival refreshes the node lease), per-app progress and
+    cumulative energy (the re-admission checkpoint if this node dies),
+    and free capacity for the next admission solve.
+    """
+
+    TYPE = "node_report"
+
+    node_id: int
+    epoch: int
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    free_slots: int = 0
+    apps: list[dict] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class NodeDirective(Message):
+    """Coordinator → node: batched per-epoch placement directive."""
+
+    TYPE = "node_directive"
+
+    node_id: int
+    epoch: int
+    admissions: list[dict] = field(default_factory=list)
+    kills: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class MigrateOut(Message):
+    """Coordinator → node rpc: suspend an app and hand back its snapshot."""
+
+    TYPE = "migrate_out"
+
+    app_id: str
+
+
+@dataclass(frozen=True)
+class MigrateOutReply(Message):
+    """Node → coordinator: the suspend snapshot (or a refusal)."""
+
+    TYPE = "migrate_out_reply"
+
+    ok: bool
+    snapshot: dict = field(default_factory=dict)
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class MigrateIn(Message):
+    """Coordinator → node rpc: resume an app from a suspend snapshot."""
+
+    TYPE = "migrate_in"
+
+    snapshot: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class NodeAdoptQuery(Message):
+    """Restarted coordinator → node rpc: inventory for re-adoption."""
+
+    TYPE = "node_adopt_query"
+
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class NodeAdoptReply(Message):
+    """Node → coordinator: running apps and capacity for re-adoption."""
+
+    TYPE = "node_adopt_reply"
+
+    node_id: int
+    capacity_slots: int = 0
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    apps: list[dict] = field(default_factory=list)
+
+
 _MESSAGE_TYPES: dict[str, type[Message]] = {
     cls.TYPE: cls
     for cls in (
@@ -190,6 +305,15 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
         ObservabilityReply,
         Ack,
         ErrorReply,
+        NodeRegister,
+        NodeRegisterReply,
+        NodeReport,
+        NodeDirective,
+        MigrateOut,
+        MigrateOutReply,
+        MigrateIn,
+        NodeAdoptQuery,
+        NodeAdoptReply,
     )
 }
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.ipc.client import Transport
 from repro.ipc.messages import (
     Ack,
@@ -46,22 +48,38 @@ class RegistrationError(RuntimeError):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded-retry configuration for libharp requests."""
+    """Bounded-retry configuration for libharp requests.
+
+    ``jitter`` spreads each backoff delay uniformly over
+    ``[delay * (1 - jitter), delay]`` to de-synchronize reconnect storms,
+    but from a *seeded* generator: the jitter sequence is a pure function
+    of ``seed``, so a retried recovery path replays bit-identically
+    (HL001 applies to the recovery path like to everything else).
+    """
 
     max_attempts: int = 3
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     def delays(self) -> list[float]:
         """Backoff delay before each retry (``max_attempts - 1`` entries)."""
-        return [
+        base = [
             self.backoff_base_s * self.backoff_factor**i
             for i in range(self.max_attempts - 1)
         ]
+        if self.jitter <= 0.0 or not base:
+            return base
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 - self.jitter * rng.random(len(base))
+        return [d * float(s) for d, s in zip(base, scale)]
 
 
 class LibHarpClient:
@@ -88,6 +106,7 @@ class LibHarpClient:
         self.activations = 0
         self.last_activation: ActivateOperatingPoint | None = None
         self.retries = 0
+        self.reconnects = 0
         self.reregistrations = 0
         self._push_socket: str | None = None
         transport.set_push_handler(self._on_push)
@@ -121,6 +140,9 @@ class LibHarpClient:
                 if OBS.enabled:
                     OBS.counter("libharp.retries", type=message.TYPE).inc()
                 self._sleep(delays[attempt])
+                self.reconnects += 1
+                if OBS.enabled:
+                    OBS.counter("libharp.reconnects", type=message.TYPE).inc()
                 try:
                     self.transport.reconnect()
                 except (ProtocolError, OSError):

@@ -9,6 +9,10 @@ that contract from eroding:
 
 * a ``.request(...)`` call with neither a ``timeout=`` keyword nor a
   second positional argument blocks indefinitely on a hung RM;
+* a ``.rpc(...)`` call (the coordinator → node synchronous exchanges of
+  the fleet control plane, ``repro.fleet.link``) under the same
+  timeout contract — a migration suspend that blocks forever wedges the
+  whole fleet epoch;
 * a ``.recv(...)`` / ``.recv_into(...)`` call in a file that never calls
   ``.settimeout(...)`` blocks indefinitely on a silent peer.
 
@@ -29,6 +33,9 @@ from repro.lint.registry import FileRule, register
 from repro.lint.source import SourceFile
 
 _RECV_METHODS = {"recv", "recv_into"}
+# Synchronous exchange methods that must carry a timeout at every call
+# site: the libharp transport request and the fleet coordinator↔node rpc.
+_REQUEST_METHODS = {"request", "rpc"}
 
 
 def _method_name(call: ast.Call) -> str | None:
@@ -66,12 +73,12 @@ class BoundedBlockingRule(FileRule):
         )
         for call in calls:
             method = _method_name(call)
-            if method == "request" and not _has_timeout_argument(call):
+            if method in _REQUEST_METHODS and not _has_timeout_argument(call):
                 yield self.diag(
                     file,
                     call.lineno,
                     call.col_offset,
-                    "request(...) without an explicit timeout blocks "
+                    f"{method}(...) without an explicit timeout blocks "
                     "forever on a hung peer; pass timeout=",
                 )
             elif method in _RECV_METHODS and not has_settimeout:

@@ -16,3 +16,11 @@ def recv_under_poll_timeout(path):
     sock.connect(path)
     sock.settimeout(0.2)
     return sock.recv(4096)
+
+
+def rpc_with_keyword(link, message):
+    return link.rpc(message, timeout=5.0)
+
+
+def rpc_with_positional(link, message):
+    return link.rpc(message, 5.0)

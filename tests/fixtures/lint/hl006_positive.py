@@ -13,3 +13,8 @@ def naked_recv(path):
     sock.connect(path)
     # No settimeout anywhere in this file: blocks forever.
     return sock.recv(4096)
+
+
+def naked_rpc(link, message):
+    # Fleet rpc without a timeout: a hung node wedges the fleet epoch.
+    return link.rpc(message)

@@ -281,8 +281,10 @@ class TestIpcConformance:
 class TestBoundedBlocking:
     def test_positives(self):
         diags = lint_fixture(["hl006_positive.py"], "HL006")
-        assert len(diags) == 2
+        assert len(diags) == 3
         messages = " ".join(d.message for d in diags)
+        assert "request(...)" in messages
+        assert "rpc(...)" in messages
         assert "timeout=" in messages
         assert "settimeout" in messages
 
@@ -314,7 +316,13 @@ class TestBoundedBlocking:
         ] + [
             SourceFile.load(
                 REPO / "src" / "repro" / "libharp" / "client.py"
-            )
+            ),
+            SourceFile.load(
+                REPO / "src" / "repro" / "fleet" / "link.py"
+            ),
+            SourceFile.load(
+                REPO / "src" / "repro" / "fleet" / "coordinator.py"
+            ),
         ]
         assert run(Project(files), rules=select_rules(["HL006"])) == []
 
