@@ -128,6 +128,27 @@ class ApplicationModel:
         """
         return 1.0
 
+    def steady_work_horizon(self, process: SimProcess) -> float | None:
+        """Work units this model can absorb with behaviour guaranteed fixed.
+
+        The event engine's busy-stretch fast-forward evaluates ``perf``
+        once and replays its result over many ticks; that is only sound
+        while the model's response is a pure function of the (unchanged)
+        slots.  The contract:
+
+        * ``None`` — ``perf`` and ``thread_demand`` depend only on the
+          slots and on state that changes exclusively at event boundaries
+          (knobs, activity flags).  The composite model and its subclasses
+          qualify: progress feeds back into nothing.
+        * a positive float — behaviour is slot-pure until ``work_done``
+          advances by this much (e.g. a phase boundary); leaps stop short
+          of it.
+        * ``0.0`` — ``perf`` mutates model state every call (e.g. the RM
+          daemon burning its pending busy time); the engine never leaps
+          while such a process holds a slot.
+        """
+        return None
+
     def itd_class_for_thread(self, tidx: int) -> int:
         """Synthetic ITD class: 0 = generic compute, 1 = memory-bound.
 

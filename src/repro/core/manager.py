@@ -95,6 +95,17 @@ class RmDaemonModel(ApplicationModel):
     def thread_demand(self, process: SimProcess) -> float:
         return min(1.0, self.pending_busy_s / self._tick_hint_s)
 
+    def steady_work_horizon(self, process: SimProcess) -> float:
+        """Never leapable: ``perf`` burns pending busy time on every call.
+
+        A zero horizon tells the event engine this model is stateful —
+        each tick the daemon runs changes its demand for the next one —
+        so busy stretches end whenever the daemon holds a slot.  (While
+        it is idle its demand is zero, it never gets placed, and leaps
+        proceed normally.)
+        """
+        return 0.0
+
     def perf(self, slots: list[ThreadSlot], process: SimProcess) -> AppPerf:
         if not slots:
             return AppPerf(0.0, [], 0.0)

@@ -63,6 +63,15 @@ class SystemMonitor:
     Tracks deltas of the package energy counter, per-core-type busy time,
     and per-process CPU time / instructions between calls, then attributes
     power and derives utility per managed application.
+
+    Boundary-driven contract: the monitor never polls the world per tick.
+    Its owner (the RM's sample chain) calls :meth:`sample` only at epoch
+    boundaries it scheduled through ``World.request_wakeup``, and every
+    delta here is a difference of *cumulative* counters — so the samples
+    are identical whether the interval was simulated tick by tick or
+    replayed in one leap by the event engine's idle/busy fast-forwards.
+    This property is what lets managed runs leap between measurement
+    boundaries; the parity suite (``tests/test_eventsim.py``) enforces it.
     """
 
     def __init__(self, world: World, attributor: EnergyAttributor):
@@ -73,6 +82,15 @@ class SystemMonitor:
         self._last_busy = dict(world.busy_time_by_type_s)
         self._last_cpu: dict[int, dict[str, float]] = {}
         self._last_time = world.time_s
+
+    @property
+    def last_sample_time_s(self) -> float:
+        """Sim time of the previous measurement boundary.
+
+        Lets the RM (and tests) verify samples only happen at scheduled
+        epoch boundaries, never at leap-internal ticks.
+        """
+        return self._last_time
 
     def sample(
         self,

@@ -72,6 +72,23 @@ class PhasedApplicationModel(ApplicationModel):
                 return phase
         return self.phases[-1]
 
+    def steady_work_horizon(self, process: SimProcess) -> float:
+        """Work left inside the current phase (behaviour flips past it).
+
+        Mirrors :meth:`phase_at`'s boundary arithmetic, including its
+        1e-12 tolerance: the returned budget is exactly the amount of
+        progress after which ``phase_at`` would pick a different phase, so
+        the event engine's busy leaps always stop short of a phase flip.
+        The last phase extends to the end of the work, where the
+        completion horizon takes over.
+        """
+        boundary = 0.0
+        for phase in self.phases:
+            boundary += phase.work_fraction * self.total_work
+            if process.work_done < boundary - 1e-12:
+                return boundary - 1e-12 - process.work_done
+        return max(self.total_work - process.work_done, 0.0)
+
     def perf(self, slots: list[ThreadSlot], process: SimProcess) -> AppPerf:
         phase = self.phase_at(process.work_done)
         # Temporarily adopt the phase's behaviour; ApplicationModel.perf

@@ -158,8 +158,19 @@ class TraceDriver:
             return
         if self._next < len(self.trace):
             world.request_wakeup(self.trace[self._next].arrival_s, EventKind.SPAWN)
-        if self._phase_heap:
-            world.request_wakeup(self._phase_heap[0][0], EventKind.WAKEUP)
+        # Prune lazily-deleted tops (sessions that completed with a phase
+        # flip still pending) before announcing: a stale deadline would
+        # split a leap for a session that no longer exists.  Pruning only
+        # removes wakeups, never state changes, so it cannot affect
+        # tick/event parity — just leap lengths.
+        heap = self._phase_heap
+        while heap:
+            pid = heap[0][1]
+            session = self._live.get(pid)
+            if session is not None and not session.process.finished:
+                world.request_wakeup(heap[0][0], EventKind.WAKEUP)
+                break
+            heapq.heappop(heap)
 
     # -- metrics ---------------------------------------------------------------
 

@@ -157,6 +157,20 @@ PROFILES: dict[str, ScenarioSpec] = {
         work_sigma=0.8,
         max_live=64,
     ),
+    "steady-10k": ScenarioSpec(
+        name="steady-10k",
+        duration_s=3600.0,
+        arrival="poisson",
+        rate_per_s=4.0,
+        app_mix={"ep.C": 2.0, "is.C": 2.0, "cg.C": 1.0},
+        nthreads_choices=[1, 2],
+        work_scale_mean=0.35,
+        work_sigma=0.6,
+        think_fraction=0.97,
+        think_mean_s=240.0,
+        burst_mean_s=0.8,
+        max_live=12_000,
+    ),
     "diurnal-day": ScenarioSpec(
         name="diurnal-day",
         duration_s=3600.0,

@@ -560,15 +560,20 @@ class World:
         for _ in range(self.ticks_in(seconds)):
             self.step()
 
-    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
+    def run_until_all_finished(self, max_seconds: float | None = 10_000.0) -> float:
         """Run until every process finished; returns the makespan.
 
         The makespan is the latest finish time across processes, measured
-        from time zero of the world.
+        from time zero of the world.  Hitting ``max_seconds`` raises
+        rather than silently truncating the scenario; pass
+        ``max_seconds=None`` to opt into an unbounded run (e.g. a
+        simulated hour of a 10k-session fleet).
         """
-        max_ticks = int(max_seconds / self.tick_s + 1e-9)
+        max_ticks = (
+            None if max_seconds is None else int(max_seconds / self.tick_s + 1e-9)
+        )
         while any(not p.daemon for p in self.running_processes()):
-            if self.tick_index > max_ticks:
+            if max_ticks is not None and self.tick_index > max_ticks:
                 raise RuntimeError(
                     f"simulation exceeded {max_seconds}s without finishing"
                 )
@@ -765,6 +770,162 @@ class World:
                         dynamic * dt * weight / total_weight
                     )
         return package_power
+
+    # -- stable-stretch power preview ---------------------------------------------
+    #
+    # The two ``_power_preview_*`` methods are side-effect-free mirrors of
+    # the ``_integrate_power_*`` methods above: the event engine's
+    # busy-stretch fast-forward evaluates one tick's power analytically,
+    # then replays the returned per-tick increments n times.  Every
+    # arithmetic expression here MUST stay in lockstep with its integrate
+    # twin — same operations, same fold order — or bit parity breaks; the
+    # property suite in tests/test_eventsim.py enforces this.  Each
+    # returned accumulator op is ``(is_attr, container, key, increment)``:
+    # one per-tick float add to ``container[key]`` (or the attribute), in
+    # the exact order the tick engine performs them.
+
+    def _power_preview_reference(
+        self,
+        busy_fraction: dict[int, float],
+        app_busy_on_core: dict[int, dict[int, float]],
+        freqs: dict[int, float],
+        dt: float,
+        superlinear: float,
+    ) -> tuple[float, dict[int, float], dict[str, float], dict[str, float], list]:
+        """One tick of :meth:`_integrate_power_reference`, without mutating."""
+        acc_ops: list[tuple] = []
+        package_power = self.platform.uncore_power_w
+        core_util: dict[int, float] = {}
+        stat_busy: dict[str, float] = {}
+        stat_energy: dict[str, float] = {}
+        for core in self.platform.cores:
+            fractions = [
+                min(1.0, busy_fraction.get(t.thread_id, 0.0))
+                for t in core.hw_threads
+            ]
+            model = self._core_power_models[core.core_type.name]
+            power = model.power_fractional(fractions, freqs.get(core.core_id))
+            mix = app_busy_on_core.get(core.core_id)
+            intensity = 1.0
+            if mix:
+                total_busy = sum(mix.values())
+                if total_busy > 0:
+                    intensity = sum(
+                        used * self.processes[pid].model.power_intensity
+                        for pid, used in mix.items()
+                    ) / total_busy
+            idle = core.core_type.idle_power_w
+            power = idle + (power - idle) * intensity * superlinear
+            package_power += power
+            core_util[core.core_id] = sum(fractions) / len(fractions)
+            busy_sum = sum(fractions)
+            type_name = core.core_type.name
+            stat_busy[type_name] = stat_busy.get(type_name, 0.0) + busy_sum * dt
+            acc_ops.append(
+                (False, self.busy_time_by_type_s, type_name, busy_sum * dt)
+            )
+            energy = power * dt
+            stat_energy[type_name] = stat_energy.get(type_name, 0.0) + energy
+            acc_ops.append((False, self.energy_by_type_j, type_name, energy))
+            dynamic = power - core.core_type.idle_power_w
+            contributions = app_busy_on_core.get(core.core_id)
+            if dynamic > 0 and contributions:
+                weights = {
+                    pid: used * self.processes[pid].model.power_intensity
+                    for pid, used in contributions.items()
+                }
+                total_weight = sum(weights.values())
+                if total_weight > 0:
+                    for pid, weight in weights.items():
+                        acc_ops.append(
+                            (
+                                True,
+                                self.processes[pid],
+                                "energy_true_j",
+                                dynamic * dt * weight / total_weight,
+                            )
+                        )
+        return package_power, core_util, stat_busy, stat_energy, acc_ops
+
+    def _power_preview_vectorized(
+        self,
+        busy_fraction: dict[int, float],
+        app_busy_on_core: dict[int, dict[int, float]],
+        freqs: dict[int, float],
+        dt: float,
+        superlinear: float,
+    ) -> tuple[float, dict[int, float], dict[str, float], dict[str, float], list]:
+        """One tick of :meth:`_integrate_power_vectorized`, without mutating."""
+        busy = np.zeros(len(self._hw_grouped))
+        if busy_fraction:
+            for pos, hw_id in enumerate(self._hw_grouped):
+                frac = busy_fraction.get(hw_id)
+                if frac is not None:
+                    busy[pos] = frac if frac < 1.0 else 1.0
+        fsum = np.add.reduceat(busy, self._group_starts)
+        fmax = np.maximum.reduceat(busy, self._group_starts)
+        freq = np.array([freqs[cid] for cid in self._core_ids], dtype=float)
+        ratio = freq / self._core_max_freq
+        scale = STATIC_FRACTION + (1.0 - STATIC_FRACTION) * ratio**3
+        power = (
+            self._core_idle_w
+            + self._core_active_w * scale * fmax
+            + self._core_smt_w * scale * (fsum - fmax)
+        )
+        intensity = np.ones(len(self._core_ids))
+        for core_id, mix in app_busy_on_core.items():
+            total_busy = sum(mix.values())
+            if total_busy > 0:
+                intensity[self._core_row[core_id]] = sum(
+                    used * self.processes[pid].model.power_intensity
+                    for pid, used in mix.items()
+                ) / total_busy
+        power = (
+            self._core_idle_w
+            + (power - self._core_idle_w) * intensity * superlinear
+        )
+        package_power = self.platform.uncore_power_w + float(power.sum())
+        core_util = dict(
+            zip(self._core_ids, (fsum / self._core_nthreads).tolist())
+        )
+        n_types = len(self._type_names)
+        busy_by_type = np.bincount(
+            self._core_type_idx, weights=fsum, minlength=n_types
+        )
+        energy_by_type = np.bincount(
+            self._core_type_idx, weights=power, minlength=n_types
+        )
+        acc_ops: list[tuple] = []
+        stat_busy: dict[str, float] = {}
+        stat_energy: dict[str, float] = {}
+        for name, b, e in zip(self._type_names, busy_by_type, energy_by_type):
+            stat_busy[name] = stat_busy.get(name, 0.0) + b * dt
+            acc_ops.append((False, self.busy_time_by_type_s, name, b * dt))
+            stat_energy[name] = stat_energy.get(name, 0.0) + e * dt
+            acc_ops.append((False, self.energy_by_type_j, name, e * dt))
+        for core_id, contributions in app_busy_on_core.items():
+            dynamic = float(
+                power[self._core_row[core_id]]
+                - self._core_idle_w[self._core_row[core_id]]
+            )
+            if dynamic <= 0 or not contributions:
+                continue
+            weights = {
+                pid: used * self.processes[pid].model.power_intensity
+                for pid, used in contributions.items()
+            }
+            total_weight = sum(weights.values())
+            if total_weight > 0:
+                for pid, weight in weights.items():
+                    acc_ops.append(
+                        (
+                            True,
+                            self.processes[pid],
+                            "energy_true_j",
+                            dynamic * dt * weight / total_weight,
+                        )
+                    )
+        return package_power, core_util, stat_busy, stat_energy, acc_ops
 
     def _validate_placement(self, placement: dict[ThreadId, int]) -> None:
         for tid, hw_id in placement.items():

@@ -41,8 +41,13 @@ import numpy as np
 from repro.obs import OBS
 from repro.platform.dvfs import Governor
 from repro.platform.topology import Platform
-from repro.sim.engine import TickStats, World
-from repro.sim.process import _PELT_HALFLIFE_S
+from repro.sim.engine import TickStats, ThreadSlot, World
+from repro.sim.process import (
+    _PELT_HALFLIFE_S,
+    _decay_for,
+    SimThread,
+    ticks_until_work_expiry,
+)
 
 
 class EventKind(Enum):
@@ -60,8 +65,20 @@ class EventKind(Enum):
     FAULT = "fault"            # fault-plan injection point
 
 
+#: A busy leap must replace at least this many ticks to pay for its
+#: pattern evaluation (which costs about one tick of work).
+_MIN_BUSY_LEAP_TICKS = 2
+
+#: After a failed busy-leap probe, skip probing for this many ticks: the
+#: conditions that break a probe (an RM daemon holding a slot, a governor
+#: not yet at its fixpoint, an imminent completion) persist for a few
+#: ticks, and re-probing every tick would cost more than stepping.
+_BUSY_LEAP_BACKOFF_TICKS = 4
+
+
 class EventWorld(World):
-    """Event-driven world: identical API, idle time leaps for free."""
+    """Event-driven world: identical API, idle AND stable busy stretches
+    leap for free."""
 
     event_driven = True
 
@@ -70,6 +87,7 @@ class EventWorld(World):
         self._heap: list[tuple[int, int, EventKind, Callable | None]] = []
         self._seq = itertools.count()
         self._wakeup_ticks: set[int] = set()
+        self._busy_backoff_until = 0
         # Idle-tick package power per integration mode.  These replicate
         # the exact accumulation order of the corresponding per-tick
         # integration path, so leaps stay bit-identical:
@@ -158,22 +176,41 @@ class EventWorld(World):
     def _advance_one(self, limit_tick: int) -> None:
         """Advance to the next boundary, never past ``limit_tick``.
 
-        Steps normally whenever per-tick work can happen (something is
-        runnable, or a legacy ``on_tick`` listener is attached); otherwise
-        leaps to the earlier of the next heap event and the limit.
+        A legacy ``on_tick`` listener forces per-tick stepping.  Otherwise
+        the tick budget to the next heap event (or the limit) is leapt:
+        via the idle leap when nothing is runnable, via the busy-stretch
+        fast-forward when the runnable set is in a stable stretch.  A
+        failed busy probe steps normally and backs off for a few ticks.
         """
-        if self.on_tick or self._has_runnable():
+        if self.on_tick:
             self.step()
             self._drain_due()
             return
+        runnable = self._has_runnable()
         next_tick = self._heap[0][0] if self._heap else None
         leap_to = limit_tick if next_tick is None else min(next_tick, limit_tick)
-        n = leap_to - self.tick_index
-        if n <= 1:
+        budget = leap_to - self.tick_index
+        if runnable:
+            if (
+                budget >= _MIN_BUSY_LEAP_TICKS
+                and self.tick_index >= self._busy_backoff_until
+            ):
+                if self._try_busy_leap(budget):
+                    for callback in self.on_event:
+                        callback(self)
+                    self._drain_due()
+                    return
+                self._busy_backoff_until = (
+                    self.tick_index + _BUSY_LEAP_BACKOFF_TICKS
+                )
             self.step()
             self._drain_due()
             return
-        self._leap(n)
+        if budget <= 1:
+            self.step()
+            self._drain_due()
+            return
+        self._leap(budget)
         for callback in self.on_event:
             callback(self)
         self._drain_due()
@@ -184,15 +221,25 @@ class EventWorld(World):
         while self.tick_index < target:
             self._advance_one(target)
 
-    def run_until_all_finished(self, max_seconds: float = 10_000.0) -> float:
-        """Run until every process finished; returns the makespan."""
-        max_ticks = int(max_seconds / self.tick_s + 1e-9)
+    def run_until_all_finished(self, max_seconds: float | None = 10_000.0) -> float:
+        """Run until every process finished; returns the makespan.
+
+        Hitting ``max_seconds`` raises rather than silently truncating
+        the scenario; ``max_seconds=None`` opts into an unbounded run,
+        advancing in hour-sized leap windows until the workload drains.
+        """
+        max_ticks = (
+            None if max_seconds is None else int(max_seconds / self.tick_s + 1e-9)
+        )
         while any(not p.daemon for p in self.running_processes()):
-            if self.tick_index > max_ticks:
-                raise RuntimeError(
-                    f"simulation exceeded {max_seconds}s without finishing"
-                )
-            self._advance_one(max_ticks + 1)
+            if max_ticks is None:
+                self._advance_one(self.tick_index + 360_000)
+            else:
+                if self.tick_index > max_ticks:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_seconds}s without finishing"
+                    )
+                self._advance_one(max_ticks + 1)
         finish_times = [
             p.finish_time_s
             for p in self.processes.values()
@@ -306,6 +353,290 @@ class EventWorld(World):
                 handles[4].inc(misses)
             OBS.counter("sim.leaps").inc()
             OBS.counter("sim.leap_ticks").inc(n)
+
+    # -- the busy-stretch fast-forward -------------------------------------------
+
+    def _try_busy_leap(self, budget_ticks: int) -> bool:
+        """Fast-forward a *stable busy stretch* of up to ``budget_ticks``.
+
+        A stable stretch is an interval over which the runnable set, the
+        thread→hardware placement, and the core frequencies are provably
+        unchanged, so one tick's scheduler/model/power evaluation (the
+        *pattern*) holds for every tick in it.  The stretch ends at the
+        earliest of: the caller's budget (next heap event / horizon), the
+        scheduler's ``next_preemption_tick``, and each placed process's
+        remaining-work or model phase-boundary expiry (with a guard
+        margin against float drift).
+
+        Preconditions (enforced by :meth:`_advance_one`): something is
+        runnable, no ``on_tick`` listener, budget ≥ 2.  Returns ``False``
+        — without mutating anything — when no leapable stretch exists:
+        the scheduler opted out of signatures (EAS), a placed model is
+        stateful (the RM daemon), the governor's frequencies are not a
+        fixpoint of the stretch utilization, or a work boundary is too
+        close.
+
+        Everything the replaced ticks would have mutated is replayed
+        bit-identically: per-tick float adds to every touched accumulator
+        (work, CPU time, perf counters, per-type energy, ground-truth
+        attribution) grouped into elementwise array adds, PELT
+        accumulate/decay as vectorized per-tick updates, batched sensor
+        noise draws, the cumulative clock, and the placement-cache and
+        obs bookkeeping.
+        """
+        dt = self.tick_s
+        obs_on = OBS.enabled
+        t0_wall = OBS.walltime() if obs_on else 0.0
+        sched = self.scheduler
+        sig = sched.placement_signature(self)
+        if sig is None:
+            return False
+        n = budget_ticks
+        preempt_tick = sched.next_preemption_tick(self)
+        if preempt_tick is not None:
+            n = min(n, preempt_tick - self.tick_index)
+            if n < _MIN_BUSY_LEAP_TICKS:
+                return False
+
+        # The stretch placement.  Cache bookkeeping (signature update, obs
+        # hit/miss counters) is deferred until the leap commits, so a
+        # bailed probe leaves the world exactly as step() expects it.
+        pattern_hit = self.vectorized and sig == self._placement_sig
+        if pattern_hit:
+            placement = self._placement_cache
+        else:
+            placement = sched.place(self)
+            self._validate_placement(placement)
+        if not placement:
+            return False
+
+        # -- the pattern: one tick of step()'s work, mirrored expression
+        # for expression (same fold orders), with no mutation ----------------
+        threads_on_hw: dict[int, list] = {}
+        for tid, hw_id in placement.items():
+            threads_on_hw.setdefault(hw_id, []).append(tid)
+        proc_demand = self._proc_demand
+        demand: dict = {}
+        for tid in placement:
+            demand[tid] = proc_demand[tid.pid]
+        shares: dict = {}
+        for hw_id, tids in threads_on_hw.items():
+            total = sum(demand[tid] for tid in tids)
+            if total <= 1.0:
+                for tid in tids:
+                    shares[tid] = demand[tid] if demand[tid] > 0 else 0.0
+            else:
+                for tid in tids:
+                    shares[tid] = demand[tid] / total
+        busy_hw_per_core: dict[int, int] = {}
+        for hw_id in threads_on_hw:
+            core_id = self._hw_by_id[hw_id].core_id
+            busy_hw_per_core[core_id] = busy_hw_per_core.get(core_id, 0) + 1
+        freqs = self.governor.select_all(self._core_util)
+
+        # Per-tick accumulator increments, in step()'s execution order.
+        # Each op is (is_attr, container, key, increment).
+        ops: list[tuple] = []
+        pelt_threads: list[SimThread] = []
+        pelt_gains: list[float] = []
+        decay = _decay_for(dt)
+        gain_scale = 1.0 - decay
+        busy_fraction: dict[int, float] = {}
+        app_busy_on_core: dict[int, dict[int, float]] = {}
+        # (process, work_before, work_budget, rate_dt) overrun guards.
+        guards: list[tuple] = []
+        placed_pids = {tid.pid for tid in placement}
+        for pid in sorted(placed_pids):
+            process = self.processes[pid]
+            slots = []
+            slot_threads: list[SimThread] = []
+            for thread in process.active_threads:
+                hw_id = placement.get(thread.tid)
+                if hw_id is None:
+                    continue
+                hw = self._hw_by_id[hw_id]
+                share = shares[thread.tid]
+                siblings = busy_hw_per_core[hw.core_id]
+                freq = freqs.get(hw.core_id)
+                speed = hw.core_type.thread_speed(siblings, freq) * share
+                slots.append(
+                    ThreadSlot(hw_id, hw.core_id, hw.core_type.name, speed, share)
+                )
+                slot_threads.append(thread)
+            if not slots:
+                continue
+            # A stateful model (horizon 0) must be screened *before* its
+            # perf() is called — the call itself would mutate it.
+            horizon = process.model.steady_work_horizon(process)
+            if horizon is not None and horizon <= 0.0:
+                return False
+            perf = process.model.perf(slots, process)
+            rate_dt = perf.rate * dt
+            if perf.rate > 0:
+                work_budget = process.remaining_work()
+                if horizon is not None and horizon < work_budget:
+                    work_budget = horizon
+                k = ticks_until_work_expiry(work_budget, rate_dt)
+                if k is not None:
+                    if k < n:
+                        n = k
+                    if n < _MIN_BUSY_LEAP_TICKS:
+                        return False
+                    guards.append((process, process.work_done, work_budget, rate_dt))
+            ops.append((True, process, "work_done", rate_dt))
+            cpu_time = 0.0
+            for slot, thread, activity in zip(slots, slot_threads, perf.activities):
+                used = activity * slot.share
+                busy_fraction[slot.hw_thread_id] = (
+                    busy_fraction.get(slot.hw_thread_id, 0.0) + used
+                )
+                app_busy_on_core.setdefault(slot.core_id, {})
+                app_busy_on_core[slot.core_id][pid] = (
+                    app_busy_on_core[slot.core_id].get(pid, 0.0) + used
+                )
+                pelt_threads.append(thread)
+                pelt_gains.append((activity * slot.share) * gain_scale)
+                slot_time = used * dt
+                cpu_time += slot_time
+                ops.append(
+                    (False, process.cpu_time_by_type, slot.core_type, slot_time)
+                )
+            ops.append((False, self.perf._instructions, pid, perf.ips * dt))
+            ops.append((False, self.perf._cpu_time, pid, cpu_time))
+
+        load_ratio = (
+            sum(busy_fraction.values()) / self._n_hw_threads
+            if busy_fraction
+            else 0.0
+        )
+        superlinear = 0.92 + 0.16 * load_ratio
+        if self.vectorized:
+            preview = self._power_preview_vectorized(
+                busy_fraction, app_busy_on_core, freqs, dt, superlinear
+            )
+        else:
+            preview = self._power_preview_reference(
+                busy_fraction, app_busy_on_core, freqs, dt, superlinear
+            )
+        package_power, core_util, stat_busy, stat_energy, acc_ops = preview
+        # Frequency stability: the stretch utilization must reproduce the
+        # stretch frequencies, else tick 2 would run at different clocks.
+        # Exact dict equality is intended — any moved frequency breaks
+        # bit parity.
+        if self.governor.select_all(core_util) != freqs:
+            return False
+        ops.extend(acc_ops)
+
+        # -- commit: replay n identical ticks ---------------------------------
+        # Group the per-tick ops by target accumulator, preserving order.
+        # Multiple same-tick adds to one accumulator (one per slot, one
+        # per core...) must not be pre-summed — float addition does not
+        # re-associate — so occurrence r of each accumulator goes into
+        # round r, and each round is one elementwise array add per tick
+        # (IEEE-identical to the scalar sequence).
+        acc_index: dict[tuple[int, object], int] = {}
+        acc_meta: list[tuple] = []
+        base_vals: list[float] = []
+        seen: dict[tuple[int, object], int] = {}
+        rounds: list[tuple[list[int], list[float]]] = []
+        for is_attr, container, key, inc in ops:
+            acc_key = (id(container), key)
+            slot_idx = acc_index.get(acc_key)
+            if slot_idx is None:
+                slot_idx = len(acc_meta)
+                acc_index[acc_key] = slot_idx
+                acc_meta.append((is_attr, container, key))
+                if is_attr:
+                    base_vals.append(getattr(container, key))
+                else:
+                    base_vals.append(container.get(key, 0.0))
+            r = seen.get(acc_key, 0)
+            seen[acc_key] = r + 1
+            if r >= len(rounds):
+                rounds.append(([], []))
+            rounds[r][0].append(slot_idx)
+            rounds[r][1].append(inc)
+        vals = np.array(base_vals, dtype=float)
+        round_arrays = [
+            (np.array(idx, dtype=int), np.array(inc, dtype=float))
+            for idx, inc in rounds
+        ]
+        # PELT: placed threads accumulate (u*decay + gain), everything
+        # else in the decaying set just decays — both as elementwise
+        # array updates replaying the scalar per-tick arithmetic.
+        decaying = self._decaying
+        placed_arr = np.array([t.utilization for t in pelt_threads], dtype=float)
+        gains_arr = np.array(pelt_gains, dtype=float)
+        idle_tids = [tid for tid in decaying if tid not in placement]
+        idle_arr = (
+            np.array([decaying[tid].utilization for tid in idle_tids], dtype=float)
+            if idle_tids
+            else None
+        )
+        for _ in range(n):
+            for idx, inc in round_arrays:
+                vals[idx] += inc
+            placed_arr *= decay
+            placed_arr += gains_arr
+            if idle_arr is not None:
+                idle_arr *= decay
+
+        for (is_attr, container, key), value in zip(acc_meta, vals.tolist()):
+            if is_attr:
+                setattr(container, key, value)
+            else:
+                container[key] = value
+        for thread, u in zip(pelt_threads, placed_arr.tolist()):
+            thread.utilization = u
+            if u != 0.0:  # harplint: disable=HL003 -- exact fixed point, not a tolerance check
+                decaying[thread.tid] = thread
+            else:
+                decaying.pop(thread.tid, None)
+        if idle_arr is not None:
+            for tid, u in zip(idle_tids, idle_arr.tolist()):
+                decaying[tid].utilization = u
+                if u == 0.0:  # harplint: disable=HL003 -- underflow to the exact fixed point
+                    del decaying[tid]
+
+        for process, work_before, work_budget, rate_dt in guards:
+            if process.work_done - work_before >= work_budget - 0.5 * rate_dt:
+                raise RuntimeError(
+                    "busy leap overran a work boundary for pid "
+                    f"{process.pid} — expiry prediction bug"
+                )
+
+        self.package_sensor.accumulate_constant(package_power, dt, n)
+        # The cumulative clock replays every per-tick addition, capturing
+        # the start time of the final tick for stats.
+        t = self.time_s
+        for _ in range(n - 1):
+            t += dt
+        stats = TickStats(time_s=t)
+        stats.package_power_w = package_power
+        stats.busy_time_by_type = stat_busy
+        stats.energy_by_type_j = stat_energy
+        self.last_stats = stats
+        self.time_s = t + dt
+        self.tick_index += n
+        self._core_util = core_util
+        if self.vectorized and not pattern_hit:
+            self._placement_sig = sig
+            self._placement_cache = placement
+
+        if obs_on:
+            handles = self._obs_hot()
+            handles[1].inc(n)
+            handles[2].observe(OBS.walltime() - t0_wall)
+            if self.vectorized:
+                if pattern_hit:
+                    handles[3].inc(n)
+                else:
+                    handles[4].inc()
+                    if n > 1:
+                        handles[3].inc(n - 1)
+            OBS.counter("sim.busy_leaps").inc()
+            OBS.counter("sim.busy_leap_ticks").inc(n)
+        return True
 
 
 def make_world(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, NamedTuple
 
@@ -32,6 +33,32 @@ def _decay_for(dt_s: float) -> float:
     if decay is None:
         decay = _decay_cache[dt_s] = 0.5 ** (dt_s / _PELT_HALFLIFE_S)
     return decay
+
+
+#: Safety margin (in ticks) subtracted from analytic work horizons.  The
+#: engine accumulates ``work_done`` with one float add per tick, so after
+#: k ticks the accumulated progress differs from the closed form
+#: ``k * rate * dt`` by a few ULPs; stopping two ticks early guarantees a
+#: busy leap can never swallow the tick on which the tick engine's
+#: completion (or a phase flip) would have fired.
+WORK_EXPIRY_GUARD_TICKS = 2
+
+
+def ticks_until_work_expiry(work_budget: float, work_per_tick: float) -> int | None:
+    """Whole ticks of progress guaranteed to stay inside ``work_budget``.
+
+    This is the remaining-work expiry of the busy-stretch fast-forward:
+    with a constant per-tick progress of ``work_per_tick`` work units, the
+    return value is the largest leap length that provably keeps every
+    replayed tick strictly below the budget (a completion boundary, a
+    phase boundary), including the :data:`WORK_EXPIRY_GUARD_TICKS` margin
+    against float drift.  ``None`` means the budget imposes no bound
+    (no progress per tick, or an infinite budget).  May be negative or
+    zero, in which case the caller must step normally.
+    """
+    if work_per_tick <= 0.0 or math.isinf(work_budget):
+        return None
+    return int(work_budget / work_per_tick) - WORK_EXPIRY_GUARD_TICKS
 
 
 @dataclass

@@ -37,6 +37,22 @@ class Scheduler(ABC):
         """
         return None
 
+    def next_preemption_tick(self, world: "World") -> int | None:
+        """Earliest future tick at which the placement may move on its own.
+
+        The event engine's busy-stretch fast-forward assumes that while
+        the placement signature is unchanged the placement itself is
+        unchanged.  A scheduler whose decisions additionally depend on
+        *time* — a round-robin quantum, a periodic rebalance — must report
+        the first tick index at which that dependency expires; busy leaps
+        never cross it.  ``None`` means the placement is a pure function
+        of the signature and never expires by itself (true for CFS, ITD
+        and pinned placement).  Schedulers that already opt out of the
+        signature cache (``placement_signature() is None``) are never
+        leapt over, but should still report honestly.
+        """
+        return None
+
     @staticmethod
     def runnable(world: "World") -> list[tuple[SimProcess, SimThread]]:
         """All (process, thread) pairs eligible to run, deterministic order.

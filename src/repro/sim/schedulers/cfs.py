@@ -45,6 +45,12 @@ class CfsScheduler(Scheduler):
             for process, thread in self.runnable(world)
         )
 
+    def next_preemption_tick(self, world: "World") -> int | None:
+        # No quantum: threads stay put until the runnable set or an
+        # affinity mask moves the signature, so busy stretches never
+        # expire on scheduler time alone.
+        return None
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         # The topology maps are static per platform; rebuild only when
         # the scheduler meets a different world.

@@ -43,6 +43,13 @@ class EasScheduler(Scheduler):
         # reusable across ticks; opt out of the engine's placement cache.
         return None
 
+    def next_preemption_tick(self, world: "World") -> int:
+        # The PELT inputs move every tick, so the current placement is
+        # only valid for the tick it was computed on.  (The missing
+        # signature already keeps busy leaps away from EAS; this keeps
+        # the preemption report honest on its own.)
+        return world.tick_index + 1
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         platform = world.platform
         hw_threads = platform.hw_threads

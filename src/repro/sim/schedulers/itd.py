@@ -38,6 +38,12 @@ class ItdScheduler(Scheduler):
             for process, thread in self.runnable(world)
         )
 
+    def next_preemption_tick(self, world: "World") -> int | None:
+        # Classification-driven placement has no quantum: it only moves
+        # when the runnable set or a thread's ITD class moves the
+        # signature.
+        return None
+
     def place(self, world: "World") -> dict[ThreadId, int]:
         platform = world.platform
         hw_threads = platform.hw_threads

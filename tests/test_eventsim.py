@@ -356,3 +356,360 @@ class TestPlacementCacheInvalidation:
             world.run_for(1.0)
             results.append(_fingerprint(world, exit_order))
         assert results[0] == results[1]
+
+
+def _spawn_dense(world: World, n: int = 3, work: float = 500.0) -> list:
+    """Long-running processes: the world stays busy for the whole run."""
+    procs = []
+    for i in range(n):
+        model = replace(resolve_model(_APPS[i % len(_APPS)]))
+        model.total_work = work
+        procs.append(world.spawn(model, nthreads=1 + i % 2))
+    return procs
+
+
+def _busy_leap_count(run) -> float:
+    """Run a callable under obs; return the busy-leap counter it drove."""
+    OBS.reset()
+    OBS.enable()
+    try:
+        run()
+        return OBS.counter("sim.busy_leaps").value
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+class _QuantumScheduler(CfsScheduler):
+    """CFS plus a round-robin quantum: every ``quantum_ticks`` the placed
+    threads rotate across their hardware threads.  Exercises the
+    time-dependent-scheduler contract — the placement is a pure function
+    of (signature, quantum index), and ``next_preemption_tick`` reports
+    the next rotation so busy leaps never cross one."""
+
+    def __init__(self, quantum_ticks: int = 25):
+        super().__init__()
+        self.quantum_ticks = quantum_ticks
+
+    def placement_signature(self, world):
+        base = super().placement_signature(world)
+        if base is None:
+            return None
+        return (base, world.tick_index // self.quantum_ticks)
+
+    def next_preemption_tick(self, world):
+        q = self.quantum_ticks
+        return (world.tick_index // q + 1) * q
+
+    def place(self, world):
+        placement = super().place(world)
+        if (world.tick_index // self.quantum_ticks) % 2 == 1 and placement:
+            tids = sorted(placement)
+            hw_ids = [placement[tid] for tid in tids]
+            placement = dict(zip(tids, hw_ids[1:] + hw_ids[:1]))
+        return placement
+
+
+class TestBusyStretchFastForward:
+    """The tentpole: dense stretches leap analytically, bit-identically."""
+
+    def _run_dense(
+        self,
+        engine: str,
+        scheduler,
+        governor=None,
+        platform_name: str = "intel",
+        seconds: float = 3.0,
+    ) -> dict:
+        platform = make_platform(platform_name)
+        world = make_world(
+            platform, scheduler, engine=engine, governor=governor, seed=7
+        )
+        exit_order: list[int] = []
+        world.on_process_exit.append(lambda p: exit_order.append(p.pid))
+        _spawn_dense(world)
+        world.run_for(seconds)
+        return _fingerprint(world, exit_order)
+
+    @pytest.mark.parametrize("sched_name", ["cfs", "itd", "pinned"])
+    def test_dense_parity_and_leaps(self, sched_name: str) -> None:
+        tick = self._run_dense("tick", SCHEDULERS[sched_name]())
+        event_fp = {}
+
+        def run_event() -> None:
+            event_fp.update(self._run_dense("event", SCHEDULERS[sched_name]()))
+
+        leaps = _busy_leap_count(run_event)
+        assert event_fp == tick
+        # With nothing runnable changing for 3 simulated seconds, the
+        # event engine must actually have leapt, not stepped through.
+        assert leaps > 0
+
+    def test_eas_dense_never_busy_leaps(self) -> None:
+        # EAS placements depend on per-tick PELT state: no signature, no
+        # stable stretch.  Parity holds (the property suite covers it);
+        # here we pin down that the engine never *claims* a stretch.
+        fp = {}
+
+        def run_event() -> None:
+            fp.update(self._run_dense("event", EasScheduler()))
+
+        assert _busy_leap_count(run_event) == 0
+        assert fp == self._run_dense("tick", EasScheduler())
+
+    @pytest.mark.parametrize("gov_name", ["schedutil", "powersave"])
+    def test_util_driven_governor_parity(self, gov_name: str) -> None:
+        # Utilization-driven governors move frequencies while PELT ramps;
+        # the probe's fixpoint check must refuse those stretches and leap
+        # only once frequencies stabilize — bit parity either way.
+        from repro.platform.dvfs import PowersaveGovernor, SchedutilGovernor
+
+        cls = {"schedutil": SchedutilGovernor, "powersave": PowersaveGovernor}[
+            gov_name
+        ]
+        platform = make_platform("odroid")
+        tick = self._run_dense(
+            "tick", CfsScheduler(), governor=cls(platform), platform_name="odroid"
+        )
+        platform2 = make_platform("odroid")
+        event = self._run_dense(
+            "event",
+            CfsScheduler(),
+            governor=cls(platform2),
+            platform_name="odroid",
+        )
+        assert event == tick
+
+    def test_phase_boundary_splits_leap(self) -> None:
+        # A phased application flips behaviour at work boundaries the
+        # heap cannot see; steady_work_horizon must stop every leap short
+        # of the flip so the tick engine's phase arithmetic is replayed
+        # exactly.
+        from repro.ext.phases import Phase, PhasedApplicationModel
+
+        def build(engine: str):
+            platform = make_platform("intel")
+            world = make_world(platform, CfsScheduler(), engine=engine, seed=3)
+            exit_order: list[int] = []
+            world.on_process_exit.append(lambda p: exit_order.append(p.pid))
+            base = resolve_model("ep.C")
+            model = PhasedApplicationModel(
+                name="phased",
+                total_work=2.0,
+                serial_fraction=base.serial_fraction,
+                ips_per_work=base.ips_per_work,
+                phases=[
+                    Phase(0.3, power_intensity=0.7, ips_per_work=8e8),
+                    Phase(0.5, power_intensity=1.4, ips_per_work=1.2e9),
+                    Phase(0.2, power_intensity=1.0),
+                ],
+            )
+            world.spawn(model, nthreads=2)
+            return world, exit_order
+
+        world_t, exits_t = build("tick")
+        world_t.run_for(4.0)
+        tick = _fingerprint(world_t, exits_t)
+
+        world_e, exits_e = build("event")
+        leaps = _busy_leap_count(lambda: world_e.run_for(4.0))
+        assert _fingerprint(world_e, exits_e) == tick
+        assert leaps > 0
+
+    def test_quantum_scheduler_splits_leap(self) -> None:
+        tick = self._run_dense("tick", _QuantumScheduler())
+        fp = {}
+
+        def run_event() -> None:
+            fp.update(self._run_dense("event", _QuantumScheduler()))
+
+        leaps = _busy_leap_count(run_event)
+        assert fp == tick
+        assert leaps > 0
+
+    def test_backoff_after_failed_probe(self) -> None:
+        # EAS never leaps; the backoff keeps the probe from re-running
+        # every tick in such regimes.
+        platform = make_platform("intel")
+        world = make_world(platform, EasScheduler(), engine="event", seed=0)
+        _spawn_dense(world, n=1)
+        world.run_for(0.1)
+        assert world._busy_backoff_until > 0
+
+
+class TestExpiryPredictionApi:
+    """Unit contracts of the new expiry sources."""
+
+    def test_next_preemption_tick_defaults(self) -> None:
+        world, _ = _build_world(0, "tick")
+        assert CfsScheduler().next_preemption_tick(world) is None
+        assert ItdScheduler().next_preemption_tick(world) is None
+        assert PinnedScheduler().next_preemption_tick(world) is None
+        assert EasScheduler().next_preemption_tick(world) == world.tick_index + 1
+
+    def test_steady_work_horizon_base(self) -> None:
+        model = resolve_model("ep.C")
+        world, _ = _build_world(0, "tick")
+        process = world.spawn(replace(model), nthreads=1)
+        assert process.model.steady_work_horizon(process) is None
+
+    def test_steady_work_horizon_phased(self) -> None:
+        from repro.ext.phases import Phase, PhasedApplicationModel
+
+        model = PhasedApplicationModel(
+            name="p",
+            total_work=10.0,
+            phases=[Phase(0.4), Phase(0.6)],
+        )
+        world, _ = _build_world(0, "tick")
+        process = world.spawn(model, nthreads=1)
+        h = model.steady_work_horizon(process)
+        assert h is not None and 0.0 < h <= 4.0
+        # The budget must stop short of the flip: phase_at at the horizon
+        # still returns the first phase.
+        assert model.phase_at(process.work_done + h * 0.999) is model.phases[0]
+        process.work_done = 9.5  # inside the last phase
+        assert model.steady_work_horizon(process) == pytest.approx(0.5)
+
+    def test_rm_daemon_never_leaps(self) -> None:
+        world, _ = _build_world(4, "tick")
+        manager = HarpManager(world, config=ManagerConfig(epoch_window_s=0.02))
+        daemons = [p for p in world.processes.values() if p.daemon]
+        assert daemons
+        assert daemons[0].model.steady_work_horizon(daemons[0]) == 0.0
+        manager.shutdown()
+
+    def test_ticks_until_work_expiry(self) -> None:
+        from repro.sim.process import (
+            WORK_EXPIRY_GUARD_TICKS,
+            ticks_until_work_expiry,
+        )
+
+        assert ticks_until_work_expiry(1.0, 0.0) is None
+        assert ticks_until_work_expiry(float("inf"), 0.1) is None
+        assert (
+            ticks_until_work_expiry(1.0, 0.01)
+            == 100 - WORK_EXPIRY_GUARD_TICKS
+        )
+        # Budgets tighter than the guard force normal stepping.
+        assert ticks_until_work_expiry(0.01, 0.01) <= 0
+
+
+class TestMidStretchInvalidation:
+    """State changes landing inside a predicted stretch must re-split the
+    leap bit-identically: the event that fires mid-stretch is itself a
+    heap boundary, so the leap simply never covers it."""
+
+    def _managed_dense(self, engine: str, fault_kind=None) -> dict:
+        world, exit_order = _build_world(4, engine)  # cfs / intel
+        manager = HarpManager(world, config=ManagerConfig(epoch_window_s=0.02))
+        injector = None
+        if fault_kind is not None:
+            plan = FaultPlan(
+                [Fault(at_s=0.5, kind=fault_kind, target="ep.C", params={})]
+            )
+            injector = SimFaultInjector(world, manager, plan)
+        for i, app in enumerate(["ep.C", "is.C"]):
+            model = replace(resolve_model(app))
+            model.total_work = 300.0  # dense: never finishes in-run
+            world.spawn(model, nthreads=2, managed=True)
+        world.run_for(2.0)
+        fp = _fingerprint(world, exit_order)
+        if injector is not None:
+            assert injector.done()
+            fp["fault_log"] = [
+                (rec["at_s"], rec["kind"], rec["applied"])
+                for rec in injector.log
+            ]
+        manager.shutdown()
+        return fp
+
+    def test_fault_fires_inside_dense_stretch(self) -> None:
+        tick = self._managed_dense("tick", FaultKind.APP_CRASH)
+        event = self._managed_dense("event", FaultKind.APP_CRASH)
+        assert tick == event
+
+    def test_silent_kill_inside_dense_stretch(self) -> None:
+        results = []
+        for engine in ("tick", "event"):
+            world, exit_order = _build_world(0, engine)
+            victims = _spawn_dense(world)
+            if world.event_driven:
+                # The kill rides a scheduled callback: the heap event
+                # bounds the leap, so the stretch re-splits at tick 40.
+                world.schedule(0.4, lambda w: w.kill(victims[0].pid))
+            else:
+                def _kill_at_40(w, pid=victims[0].pid):
+                    if w.tick_index == 40:
+                        w.kill(pid)
+
+                world.on_event.append(_kill_at_40)
+            world.run_for(2.0)
+            results.append(_fingerprint(world, exit_order))
+        assert results[0] == results[1]
+
+    def test_urgent_reallocation_pull_forward(self) -> None:
+        # An RM deciding to reallocate *between* its own epochs (an urgent
+        # pull-forward) lands mid-stretch on the event engine; the wakeup
+        # it requests splits the leap at exactly the tick the tick engine
+        # reallocates on.
+        results = []
+        for engine in ("tick", "event"):
+            world, exit_order = _build_world(4, engine)
+            manager = HarpManager(
+                world, config=ManagerConfig(epoch_window_s=0.02)
+            )
+            for app in ("ep.C", "is.C"):
+                model = replace(resolve_model(app))
+                model.total_work = 300.0
+                world.spawn(model, nthreads=2, managed=True)
+            fired = [False]
+
+            def pull_forward(w) -> None:
+                if not fired[0] and w.tick_index >= 40:
+                    fired[0] = True
+                    manager.reallocate()
+
+            world.on_event.append(pull_forward)
+            if world.event_driven:
+                world.request_wakeup(0.4, EventKind.REALLOC)
+            world.run_for(2.0)
+            assert fired[0]
+            fp = _fingerprint(world, exit_order)
+            fp["epochs"] = manager.allocation_epochs
+            manager.shutdown()
+            results.append(fp)
+        assert results[0] == results[1]
+
+
+class TestRunUntilCap:
+    """run_until_all_finished: bounded by default, unbounded by opt-in."""
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_cap_raises(self, engine: str) -> None:
+        world, _ = _build_world(0, engine)
+        model = replace(resolve_model("ep.C"))
+        model.total_work = 1e9  # will not finish in the cap
+        world.spawn(model, nthreads=1)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            world.run_until_all_finished(max_seconds=1.0)
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_unbounded_opt_in(self, engine: str) -> None:
+        world, _ = _build_world(0, engine)
+        model = replace(resolve_model("ep.C"))
+        model.total_work = 0.5
+        world.spawn(model, nthreads=2)
+        makespan = world.run_until_all_finished(max_seconds=None)
+        assert makespan > 0.0
+        assert all(p.finished for p in world.processes.values())
+
+    def test_makespans_agree(self) -> None:
+        spans = []
+        for engine in ("tick", "event"):
+            world, _ = _build_world(0, engine)
+            model = replace(resolve_model("ep.C"))
+            model.total_work = 0.8
+            world.spawn(model, nthreads=2)
+            spans.append(world.run_until_all_finished(max_seconds=30.0))
+        assert spans[0] == spans[1]

@@ -386,6 +386,24 @@ class TestFleetChaosMatrix:
 
         assert once("tick") == once("event")
 
+    @pytest.mark.parametrize("plan", _NODE_FAULTS)
+    def test_dense_event_engine_matches_tick(self, plan):
+        """Dense chaos: heavy sessions keep every node busy, so the event
+        engine rides busy-stretch fast-forwards between epochs — and a
+        node fault landing inside a predicted stretch must re-split it
+        bit-identically with the tick engine."""
+
+        def once(engine: str):
+            fleet = _fleet(
+                apps=_apps(4, work_scale=0.5), engine=engine, plan=plan, seed=41
+            )
+            fleet.run_until_done(max_epochs=300)
+            assert fleet.injector.done()
+            _assert_no_double_placement(fleet)
+            return json.dumps(fleet.results(), sort_keys=True)
+
+        assert once("tick") == once("event")
+
     def test_generated_multi_fault_plan_is_survived(self):
         plan = FaultPlan.generate(
             seed=4,
